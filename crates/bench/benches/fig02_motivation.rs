@@ -1,0 +1,59 @@
+//! Figure 2: the motivation study.
+//!
+//! (a) Throughput of MIX 01 over time under four static topologies,
+//!     normalized per-epoch to the all-shared baseline (16:1:1).
+//! (b) dedup and freqmine (16 threads) under the same topologies.
+
+use morph_bench::{banner, bench_config};
+use morph_metrics::Table;
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    let cfg = bench_config();
+    banner("Figure 2(a): MIX 01 throughput over time by topology", "Fig. 2(a)");
+    let mix = Workload::mix(1).expect("MIX 01");
+    let topologies = ["16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1"];
+    let jobs: Vec<(Workload, Policy)> = topologies
+        .iter()
+        .map(|t| (mix.clone(), Policy::static_topology(t, 16)))
+        .collect();
+    let results = run_matrix(&cfg, &jobs);
+    let base_series = results[0].throughput_series();
+    let cols: Vec<String> = (0..cfg.n_epochs).map(|e| format!("ep{e}")).collect();
+    let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("normalized throughput vs time (base = (16:1:1))", &col_refs);
+    for r in &results[1..] {
+        let series: Vec<f64> = r
+            .throughput_series()
+            .iter()
+            .zip(base_series.iter())
+            .map(|(x, b)| x / b)
+            .collect();
+        t.row_f64(&r.policy_name, &series, 3);
+    }
+    t.print();
+    println!("paper: best topology varies over time; spreads of roughly 0.7x-1.35x");
+
+    banner("Figure 2(b): dedup and freqmine by topology", "Fig. 2(b)");
+    let mut t = Table::new("normalized throughput (base = (16:1:1))", &["dedup", "freqmine"]);
+    let mut rows: Vec<(String, Vec<f64>)> =
+        topologies[1..].iter().map(|p| (format!("({p})"), Vec::new())).collect();
+    for app in ["dedup", "freqmine"] {
+        let wl = Workload::parsec(app).expect("parsec app");
+        let jobs: Vec<(Workload, Policy)> = topologies
+            .iter()
+            .map(|t| (wl.clone(), Policy::static_topology(t, 16)))
+            .collect();
+        let results = run_matrix(&cfg, &jobs);
+        let base = results[0].mean_throughput();
+        for (i, r) in results[1..].iter().enumerate() {
+            rows[i].1.push(r.mean_throughput() / base);
+        }
+    }
+    for (name, vals) in rows {
+        t.row_f64(name, &vals, 3);
+    }
+    t.print();
+    println!("paper: dedup peaks at (4:4:1); freqmine peaks at (1:16:1)");
+}

@@ -1,0 +1,37 @@
+//! Figure 13: multiprogrammed throughput of MorphCache vs the static
+//! topologies, normalized to the all-shared (16:1:1) baseline, for the
+//! twelve Table 5 mixes.
+
+use morph_bench::{banner, bench_config, mix_ids, static_policies};
+use morph_metrics::{mean, Table};
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    banner("Figure 13: multiprogrammed throughput by policy", "Fig. 13");
+    let cfg = bench_config();
+    let mut policies = static_policies();
+    policies.push(Policy::morph(&cfg));
+    let names: Vec<String> = policies.iter().map(|p| p.name()).collect();
+    let col_refs: Vec<&str> = names[1..].iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("throughput normalized to (16:1:1)", &col_refs);
+    let mut sums = vec![Vec::new(); policies.len() - 1];
+    for id in mix_ids() {
+        let mix = Workload::mix(id).expect("mix");
+        let jobs: Vec<(Workload, Policy)> =
+            policies.iter().map(|p| (mix.clone(), p.clone())).collect();
+        let results = run_matrix(&cfg, &jobs);
+        let base = results[0].mean_throughput();
+        let row: Vec<f64> =
+            results[1..].iter().map(|r| r.mean_throughput() / base).collect();
+        for (i, v) in row.iter().enumerate() {
+            sums[i].push(*v);
+        }
+        t.row_f64(mix.name(), &row, 3);
+    }
+    let avgs: Vec<f64> = sums.iter().map(|v| mean(v)).collect();
+    t.row_f64("AVG", &avgs, 3);
+    t.print();
+    println!("paper averages vs (16:1:1): (1:1:16) 1.005e0*, (4:4:1) ~1.08, (8:2:1) ~1.09, (1:16:1) ~1.02, MorphCache 1.299");
+    println!("(*paper reports MorphCache +29.9% over baseline, +29.3% over (1:1:16), +19.9% over (4:4:1), +18.8% over (8:2:1), +27.9% over (1:16:1))");
+}

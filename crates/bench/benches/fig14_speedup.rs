@@ -1,0 +1,51 @@
+//! Figure 14: weighted speedup (WS) and fair speedup (FS) of MorphCache
+//! against the best-performing static topology per metric.
+
+use morph_bench::{banner, bench_config, mix_ids, static_policies};
+use morph_metrics::{fair_speedup, mean, weighted_speedup, Table};
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    banner("Figure 14: weighted and fair speedup", "Fig. 14");
+    let cfg = bench_config();
+    let mut policies = static_policies();
+    policies.push(Policy::morph(&cfg));
+    let mut t = Table::new(
+        "speedups (alone IPC = solo run on one private hierarchy)",
+        &["WS morph", "WS best-static", "FS morph", "FS best-static"],
+    );
+    let (mut ws_m, mut ws_s, mut fs_m, mut fs_s) = (vec![], vec![], vec![], vec![]);
+    for id in mix_ids() {
+        let mix = Workload::mix(id).expect("mix");
+        // Solo (alone) IPCs, one per application, computed in one batch.
+        let mut solo_cfg = cfg;
+        solo_cfg.hierarchy.n_cores = 1;
+        let solo_jobs: Vec<(Workload, Policy)> = (0..16)
+            .map(|c| (Workload::Apps(vec![mix.profile_of(c)]), Policy::baseline(1)))
+            .collect();
+        let alone: Vec<f64> = run_matrix(&solo_cfg, &solo_jobs)
+            .iter()
+            .map(|r| r.mean_ipcs()[0])
+            .collect();
+        let jobs: Vec<(Workload, Policy)> =
+            policies.iter().map(|p| (mix.clone(), p.clone())).collect();
+        let results = run_matrix(&cfg, &jobs);
+        let ws: Vec<f64> =
+            results.iter().map(|r| weighted_speedup(&r.mean_ipcs(), &alone)).collect();
+        let fs: Vec<f64> =
+            results.iter().map(|r| fair_speedup(&r.mean_ipcs(), &alone)).collect();
+        let best_ws =
+            ws[..5].iter().cloned().fold(f64::MIN, f64::max);
+        let best_fs =
+            fs[..5].iter().cloned().fold(f64::MIN, f64::max);
+        ws_m.push(ws[5]);
+        ws_s.push(best_ws);
+        fs_m.push(fs[5]);
+        fs_s.push(best_fs);
+        t.row_f64(mix.name(), &[ws[5], best_ws, fs[5], best_fs], 3);
+    }
+    t.row_f64("AVG", &[mean(&ws_m), mean(&ws_s), mean(&fs_m), mean(&fs_s)], 3);
+    t.print();
+    println!("paper: MorphCache beats the best static by 12.3% on WS (best static (2:2:4)) and 10.8% on FS (best static (4:4:1))");
+}

@@ -1,0 +1,34 @@
+//! Figure 15: MorphCache vs the ideal offline scheme (per-epoch best
+//! static topology chosen with oracle knowledge).
+
+use morph_bench::{banner, bench_config, mix_ids};
+use morph_metrics::{mean, Table};
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    banner("Figure 15: MorphCache vs ideal offline scheme", "Fig. 15, §5.1");
+    let cfg = bench_config();
+    let mut t = Table::new(
+        "throughput normalized to (16:1:1)",
+        &["MorphCache", "Ideal offline", "morph/ideal"],
+    );
+    let mut ratios = Vec::new();
+    for id in mix_ids() {
+        let mix = Workload::mix(id).expect("mix");
+        let jobs = vec![
+            (mix.clone(), Policy::baseline(16)),
+            (mix.clone(), Policy::morph(&cfg)),
+            (mix.clone(), Policy::ideal_paper_set()),
+        ];
+        let results = run_matrix(&cfg, &jobs);
+        let base = results[0].mean_throughput();
+        let m = results[1].mean_throughput() / base;
+        let i = results[2].mean_throughput() / base;
+        ratios.push(m / i);
+        t.row_f64(mix.name(), &[m, i, m / i], 3);
+    }
+    t.row_f64("AVG", &[0.0, 0.0, mean(&ratios)], 3);
+    t.print();
+    println!("paper: MorphCache achieves ~97% of the ideal offline scheme");
+}

@@ -1,0 +1,37 @@
+//! Figure 16: multithreaded (PARSEC) performance of MorphCache vs the
+//! static topologies, normalized to the all-shared baseline.
+
+use morph_bench::{banner, bench_config, static_policies};
+use morph_metrics::{mean, Table};
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+use morph_trace::parsec;
+
+fn main() {
+    banner("Figure 16: multithreaded performance by policy", "Fig. 16");
+    let cfg = bench_config();
+    let mut policies = static_policies();
+    policies.push(Policy::morph(&cfg));
+    let names: Vec<String> = policies.iter().map(|p| p.name()).collect();
+    let col_refs: Vec<&str> = names[1..].iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("performance normalized to (16:1:1)", &col_refs);
+    let mut sums = vec![Vec::new(); policies.len() - 1];
+    for p in parsec::PARSEC_PROFILES {
+        let wl = Workload::Multithreaded(p);
+        let jobs: Vec<(Workload, Policy)> =
+            policies.iter().map(|pl| (wl.clone(), pl.clone())).collect();
+        let results = run_matrix(&cfg, &jobs);
+        let base = results[0].mean_throughput();
+        let row: Vec<f64> =
+            results[1..].iter().map(|r| r.mean_throughput() / base).collect();
+        for (i, v) in row.iter().enumerate() {
+            sums[i].push(*v);
+        }
+        t.row_f64(p.name, &row, 3);
+    }
+    let avgs: Vec<f64> = sums.iter().map(|v| mean(v)).collect();
+    t.row_f64("AVG", &avgs, 3);
+    t.print();
+    println!("paper: MorphCache +25.6% over (16:1:1), +30.4% over (1:1:16), +12.3% over (4:4:1), +7.5% over (8:2:1), +8.5% over (1:16:1);");
+    println!("facesim/ferret/freqmine/x264 (high spatial sigma) gain most");
+}

@@ -1,0 +1,39 @@
+//! Figure 17: MorphCache vs PIPP [28] and DSR [18], both extended to the
+//! L2+L3 hierarchy, on the twelve mixes.
+
+use morph_bench::{banner, bench_config, mix_ids};
+use morph_metrics::{mean, Table};
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    banner("Figure 17: MorphCache vs PIPP and DSR", "Fig. 17, §6");
+    let cfg = bench_config();
+    let mut t = Table::new(
+        "throughput normalized to (16:1:1)",
+        &["PIPP", "DSR", "MorphCache"],
+    );
+    let mut sums = vec![Vec::new(); 3];
+    for id in mix_ids() {
+        let mix = Workload::mix(id).expect("mix");
+        let jobs = vec![
+            (mix.clone(), Policy::baseline(16)),
+            (mix.clone(), Policy::Pipp),
+            (mix.clone(), Policy::Dsr),
+            (mix.clone(), Policy::morph(&cfg)),
+        ];
+        let results = run_matrix(&cfg, &jobs);
+        let base = results[0].mean_throughput();
+        let row: Vec<f64> =
+            results[1..].iter().map(|r| r.mean_throughput() / base).collect();
+        for (i, v) in row.iter().enumerate() {
+            sums[i].push(*v);
+        }
+        t.row_f64(mix.name(), &row, 3);
+    }
+    let avgs: Vec<f64> = sums.iter().map(|v| mean(v)).collect();
+    t.row_f64("AVG", &avgs, 3);
+    t.print();
+    println!("paper: MorphCache beats PIPP by 6.6% and DSR by 5.7% on average;");
+    println!("PIPP/DSR tie or win only on the low-variation mixes MIX 04 and MIX 08");
+}

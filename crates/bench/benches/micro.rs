@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks: the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morph_cache::{Grouping, Hierarchy, HierarchyParams, NoopSink};
+use morph_interconnect::{ArbiterTree, SegmentedBus};
+use morphcache::{Acfv, CacheLevelId, HashKind, MorphConfig, MorphEngine};
+use std::hint::black_box;
+
+fn bench_hierarchy_access(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hierarchy");
+    g.bench_function("access_private", |b| {
+        let mut h = Hierarchy::new(HierarchyParams::paper(16));
+        let mut sink = NoopSink;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b9);
+            black_box(h.access((i % 16) as usize, i % 100_000, false, &mut sink))
+        });
+    });
+    g.bench_function("access_all_shared", |b| {
+        let mut h = Hierarchy::new(HierarchyParams::paper(16));
+        h.set_l3_grouping(Grouping::all_shared(16)).unwrap();
+        h.set_l2_grouping(Grouping::all_shared(16)).unwrap();
+        let mut sink = NoopSink;
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(0x9e3779b9);
+            black_box(h.access((i % 16) as usize, i % 100_000, false, &mut sink))
+        });
+    });
+    g.finish();
+}
+
+fn bench_acfv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("acfv");
+    for hash in [HashKind::Xor, HashKind::Modulo, HashKind::Mix] {
+        g.bench_function(format!("record_{hash:?}"), |b| {
+            let mut v = Acfv::new(128, hash);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(8191);
+                v.record_insert(black_box(i));
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_reconfigure_16", |b| {
+        let mut e = MorphEngine::new(16, (0..16).collect(), MorphConfig::calibrated(4096, 16384));
+        for s in 0..16usize {
+            for i in 0..2000u64 {
+                e.on_touched(CacheLevelId::L2, s, s, i * 977 + s as u64);
+                e.on_touched(CacheLevelId::L3, s, s, i * 977 + s as u64);
+            }
+        }
+        let mut ep = 0;
+        b.iter(|| {
+            ep += 1;
+            black_box(e.reconfigure(ep))
+        });
+    });
+}
+
+fn bench_interconnect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interconnect");
+    g.bench_function("arbiter_tree_cycle_16", |b| {
+        let mut t = ArbiterTree::new(16);
+        t.configure_groups(&[(0..16).collect::<Vec<_>>()]).unwrap();
+        let reqs = [true; 16];
+        b.iter(|| black_box(t.cycle(&reqs)));
+    });
+    g.bench_function("segmented_bus_cycle", |b| {
+        let mut bus = SegmentedBus::new(16);
+        bus.configure(&[(0..8).collect(), (8..16).collect()]).unwrap();
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 16;
+            bus.request(i);
+            black_box(bus.cycle())
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_hierarchy_access, bench_acfv, bench_engine, bench_interconnect
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! §2.4 statistics: number of reconfigurations (merges + splits) and the
+//! fraction that resulted in asymmetric configurations, for the
+//! multiprogrammed mixes and the multithreaded applications.
+
+use morph_bench::{banner, bench_config, mix_ids};
+use morph_metrics::{mean, Table};
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+use morph_trace::parsec;
+
+fn main() {
+    banner("§2.4: reconfiguration counts and asymmetry", "§2.4");
+    let cfg = bench_config();
+
+    let jobs: Vec<(Workload, Policy)> = mix_ids()
+        .iter()
+        .map(|&id| (Workload::mix(id).expect("mix"), Policy::morph(&cfg)))
+        .collect();
+    let results = run_matrix(&cfg, &jobs);
+    let counts: Vec<f64> = results.iter().map(|r| r.total_reconfigs() as f64).collect();
+    let asym: Vec<f64> = results
+        .iter()
+        .filter(|r| r.total_reconfigs() > 0)
+        .map(|r| r.asymmetric_fraction())
+        .collect();
+    let mut t = Table::new("multiprogrammed mixes", &["min", "max", "avg", "asym %"]);
+    t.row_f64(
+        "reconfigs",
+        &[
+            counts.iter().cloned().fold(f64::MAX, f64::min),
+            counts.iter().cloned().fold(f64::MIN, f64::max),
+            mean(&counts),
+            mean(&asym) * 100.0,
+        ],
+        1,
+    );
+    t.print();
+    println!("paper: 5,248-12,176 reconfigs (avg 9,654) over full-length runs; ~39% asymmetric");
+    println!("(counts scale with epoch count; this harness runs {} measured epochs)", cfg.n_epochs);
+
+    let jobs: Vec<(Workload, Policy)> = parsec::PARSEC_PROFILES
+        .iter()
+        .map(|p| (Workload::Multithreaded(*p), Policy::morph(&cfg)))
+        .collect();
+    let results = run_matrix(&cfg, &jobs);
+    let counts: Vec<f64> = results.iter().map(|r| r.total_reconfigs() as f64).collect();
+    let asym: Vec<f64> = results
+        .iter()
+        .filter(|r| r.total_reconfigs() > 0)
+        .map(|r| r.asymmetric_fraction())
+        .collect();
+    let mut t = Table::new("multithreaded applications", &["min", "max", "avg", "asym %"]);
+    t.row_f64(
+        "reconfigs",
+        &[
+            counts.iter().cloned().fold(f64::MAX, f64::min),
+            counts.iter().cloned().fold(f64::MIN, f64::max),
+            mean(&counts),
+            mean(&asym) * 100.0,
+        ],
+        1,
+    );
+    t.print();
+    println!("paper: 263-1,043 reconfigs (avg 856); ~54% asymmetric");
+}

@@ -1,0 +1,52 @@
+//! Table 2: segmented-bus arbiter area and delay, recomputed from the
+//! Table 1 constants and the Fig. 12 floorplan.
+
+use morph_bench::banner;
+use morph_interconnect::{ArbiterHierarchyModel, Floorplan, SynthesisParams};
+use morph_metrics::Table;
+
+fn main() {
+    banner("Table 2: segmented bus arbiter area and delay", "Tables 1-2, Fig. 12");
+    let p = SynthesisParams::paper();
+    let fp = Floorplan::paper();
+    let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
+    let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
+    let mut t = Table::new(
+        "arbiter model (model value / paper value)",
+        &["L2 bus (3-level)", "L3 bus (4-level)"],
+    );
+    t.row("arbiters", vec![
+        format!("{} / 7 per side", l2.n_arbiters),
+        format!("{} / 15", l3.n_arbiters),
+    ]);
+    t.row("area um^2", vec![
+        format!("{:.1} / 160.5", l2.total_area_um2),
+        format!("{:.1} / 343.9", l3.total_area_um2),
+    ]);
+    t.row("req wire ns", vec![
+        format!("{:.2} / 0.31", l2.request_wire_ns),
+        format!("{:.2} / 0.40", l3.request_wire_ns),
+    ]);
+    t.row("req logic ns", vec![
+        format!("{:.2} / 0.38", l2.request_logic_ns),
+        format!("{:.2} / 0.49", l3.request_logic_ns),
+    ]);
+    t.row("gnt logic ns", vec![
+        format!("{:.2} / 0.32", l2.grant_logic_ns),
+        format!("{:.2} / 0.32", l3.grant_logic_ns),
+    ]);
+    t.row("gnt wire ns", vec![
+        format!("{:.2} / 0.31", l2.grant_wire_ns),
+        format!("{:.2} / 0.40", l3.grant_wire_ns),
+    ]);
+    t.print();
+    println!(
+        "max arbiter frequency: {:.2} GHz (paper: 1.12 GHz; bus run at 1 GHz)",
+        l3.max_frequency_ghz()
+    );
+    println!(
+        "bus overhead at 5 GHz core / 1 GHz bus: {} cycles unpipelined, {} pipelined (paper: 15 / 10)",
+        ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, false),
+        ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, true)
+    );
+}

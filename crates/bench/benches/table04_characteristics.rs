@@ -1,0 +1,87 @@
+//! Table 4: per-benchmark ACF characterization, measured on the synthetic
+//! streams with the oracle footprint probe (hit-based active footprints,
+//! private slices) and compared against the published targets.
+
+use morph_bench::banner;
+use morph_metrics::{mean, std_dev, Table};
+use morph_system::prelude::*;
+use morph_system::probes::FootprintProbe;
+use morph_system::sim::SystemSim;
+use morph_trace::{parsec, spec};
+
+fn main() {
+    banner("Table 4: SPEC CPU 2006 characterization (measured vs paper)", "Table 4");
+    let mut t = Table::new(
+        "single-core private slices",
+        &["L2 ACF", "(paper)", "L2 st", "(paper)", "L3 ACF", "(paper)", "L3 st", "(paper)"],
+    );
+    for p in spec::SPEC_PROFILES {
+        let mut cfg = SystemConfig::paper(1);
+        cfg.n_epochs = 8;
+        cfg.epoch_cycles = 500_000;
+        cfg.warmup_epochs = 1;
+        let wl = Workload::Apps(vec![p]);
+        let mut sim = SystemSim::new(cfg, &wl, &Policy::baseline(1)).expect("sim");
+        let mut probe = FootprintProbe::new(1);
+        let (mut l2s, mut l3s) = (Vec::new(), Vec::new());
+        for e in 0..cfg.warmup_epochs + cfg.n_epochs {
+            sim.run_epoch_probed(&mut probe);
+            let (l2, l3) = probe.take_epoch(4096, 16384);
+            if e >= cfg.warmup_epochs {
+                l2s.push(l2[0].min(1.0));
+                l3s.push(l3[0].min(1.0));
+            }
+        }
+        t.row(p.name, vec![
+            format!("{:.2}", mean(&l2s)),
+            format!("{:.2}", p.l2_acf),
+            format!("{:.2}", std_dev(&l2s)),
+            format!("{:.2}", p.l2_sigma_t),
+            format!("{:.2}", mean(&l3s)),
+            format!("{:.2}", p.l3_acf),
+            format!("{:.2}", std_dev(&l3s)),
+            format!("{:.2}", p.l3_sigma_t),
+        ]);
+    }
+    t.print();
+
+    banner("Table 4: PARSEC characterization (measured vs paper)", "Table 4");
+    let mut t = Table::new(
+        "16 threads, private slices",
+        &["L2 ACF", "(paper)", "L2 ss", "(paper)", "L3 ACF", "(paper)", "L3 ss", "(paper)"],
+    );
+    for p in parsec::PARSEC_PROFILES {
+        let mut cfg = SystemConfig::paper(16);
+        cfg.n_epochs = 4;
+        cfg.epoch_cycles = 500_000;
+        cfg.warmup_epochs = 1;
+        let wl = Workload::Multithreaded(p);
+        let mut sim =
+            SystemSim::new(cfg, &wl, &Policy::static_topology("1:1:16", 16)).expect("sim");
+        let mut probe = FootprintProbe::new(16);
+        let (mut l2m, mut l3m, mut l2ss, mut l3ss) = (vec![], vec![], vec![], vec![]);
+        for e in 0..cfg.warmup_epochs + cfg.n_epochs {
+            sim.run_epoch_probed(&mut probe);
+            let (l2, l3) = probe.take_epoch(4096, 16384);
+            if e >= cfg.warmup_epochs {
+                let l2c: Vec<f64> = l2.iter().map(|v| v.min(1.0)).collect();
+                let l3c: Vec<f64> = l3.iter().map(|v| v.min(1.0)).collect();
+                l2m.push(mean(&l2c));
+                l3m.push(mean(&l3c));
+                l2ss.push(std_dev(&l2c));
+                l3ss.push(std_dev(&l3c));
+            }
+        }
+        t.row(p.name, vec![
+            format!("{:.2}", mean(&l2m)),
+            format!("{:.2}", p.l2_acf),
+            format!("{:.2}", mean(&l2ss)),
+            format!("{:.2}", p.l2_sigma_s),
+            format!("{:.2}", mean(&l3m)),
+            format!("{:.2}", p.l3_acf),
+            format!("{:.2}", mean(&l3ss)),
+            format!("{:.2}", p.l3_sigma_s),
+        ]);
+    }
+    t.print();
+}

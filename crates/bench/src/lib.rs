@@ -1,0 +1,65 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every `[[bench]]` target regenerates one table or figure of the paper
+//! and prints the same rows/series the paper reports. Targets use a
+//! scaled-down default run length so the whole suite completes in
+//! minutes; set `MORPH_BENCH_EPOCHS` / `MORPH_BENCH_CYCLES` /
+//! `MORPH_BENCH_MIXES` to run longer.
+
+use morph_system::prelude::*;
+
+/// The default experiment configuration for bench targets: the paper's
+/// 16-core Table 3 geometry, with epoch counts/lengths overridable via
+/// `MORPH_BENCH_EPOCHS` and `MORPH_BENCH_CYCLES`.
+pub fn bench_config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper(16);
+    cfg.n_epochs = env_usize("MORPH_BENCH_EPOCHS", 4);
+    cfg.epoch_cycles = env_u64("MORPH_BENCH_CYCLES", 1_200_000);
+    cfg.warmup_epochs = 1;
+    cfg
+}
+
+/// The five static topologies of §5, baseline `(16:1:1)` first.
+pub fn static_policies() -> Vec<Policy> {
+    ["16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1"]
+        .iter()
+        .map(|s| Policy::static_topology(s, 16))
+        .collect()
+}
+
+/// Which mixes to sweep: all 12 by default, fewer via `MORPH_BENCH_MIXES`.
+pub fn mix_ids() -> Vec<usize> {
+    let n = env_usize("MORPH_BENCH_MIXES", 12).clamp(1, 12);
+    (1..=n).collect()
+}
+
+/// Prints the standard header for a bench target.
+pub fn banner(what: &str, paper_ref: &str) {
+    println!();
+    println!("################################################################");
+    println!("# {what}");
+    println!("# Reproduces: {paper_ref}");
+    println!("################################################################");
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = bench_config();
+        assert_eq!(cfg.n_cores(), 16);
+        assert!(cfg.n_epochs >= 1);
+        assert_eq!(mix_ids().len(), 12);
+        assert_eq!(static_policies().len(), 5);
+    }
+}

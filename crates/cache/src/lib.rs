@@ -1,0 +1,93 @@
+//! # morph-cache
+//!
+//! Set-associative cache slices, merged slice groups, and an inclusive
+//! multi-level (L1/L2/L3) cache hierarchy — the memory-system substrate of
+//! the MorphCache reproduction (Srikantaiah et al., HPCA 2011).
+//!
+//! The paper's basic design point is a CMP where every core owns a private
+//! L1 plus one *slice* of L2 and one slice of L3. Slices at a level can be
+//! dynamically *merged* into groups: merging two `n`-way slices of size `S`
+//! yields one `2n`-way shared slice of size `2S` (paper §2.2, footnote 1).
+//! This crate models exactly that: a [`Slice`] is a physical array of sets,
+//! a [`Grouping`] partitions the slices of a [`CacheLevel`] into shared
+//! groups, and group lookups treat set *i* as the concatenation of set *i*'s
+//! ways across all member slices.
+//!
+//! The [`Hierarchy`] type composes private L1s with two groupable levels and
+//! enforces the paper's **inclusion** property (L1 ⊆ L2 ⊆ L3) via
+//! back-invalidation, including the "lazy invalidation" of duplicated lines
+//! that can appear after a merge (§2.2).
+//!
+//! # Example
+//!
+//! ```
+//! use morph_cache::{Hierarchy, HierarchyParams, Grouping, NoopSink};
+//!
+//! // A small 4-core hierarchy with private (ungrouped) L2/L3 slices.
+//! let params = HierarchyParams::scaled_down(4);
+//! let mut h = Hierarchy::new(params);
+//! let mut sink = NoopSink;
+//! let lat = h.access(0, 0x4_0000, false, &mut sink); // cold miss -> memory
+//! assert!(lat >= h.params().latency.memory);
+//! // Merge L3 slices 0 and 1 into a shared group.
+//! let mut g = Grouping::private(4);
+//! g.merge_pair(0, 1).unwrap();
+//! h.set_l3_grouping(g).unwrap();
+//! ```
+
+pub mod events;
+pub mod group;
+pub mod hierarchy;
+pub mod mshr;
+pub mod params;
+pub mod replacement;
+pub mod slice;
+pub mod stats;
+
+pub use events::{CacheEventSink, Level, NoopSink};
+pub use group::Grouping;
+pub use hierarchy::{Hierarchy, HierarchyParams, MemorySubsystem};
+pub use mshr::MshrFile;
+pub use params::{CacheParams, LatencyParams};
+pub use replacement::{ReplacementKind, TreePlru};
+pub use slice::{CacheLevel, Slice};
+pub use stats::{LevelStats, SliceStats};
+
+/// A full byte address.
+pub type Addr = u64;
+/// A cache-line address (`Addr >> block_bits`).
+pub type Line = u64;
+/// Identifies a core in the CMP (0-based).
+pub type CoreId = usize;
+/// Identifies a physical cache slice within one level (0-based).
+pub type SliceId = usize;
+
+/// Errors produced when configuring cache structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter that must be a nonzero power of two was not.
+    NotPowerOfTwo(&'static str, usize),
+    /// A grouping did not form a partition of the slice set.
+    InvalidGrouping(String),
+    /// A grouping referenced a slice outside the level.
+    SliceOutOfRange(SliceId, usize),
+    /// Hierarchy-level inconsistency (e.g. L2 grouping does not refine L3).
+    InclusionViolation(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a nonzero power of two, got {v}")
+            }
+            ConfigError::InvalidGrouping(why) => write!(f, "invalid grouping: {why}"),
+            ConfigError::SliceOutOfRange(s, n) => {
+                write!(f, "slice {s} out of range for level with {n} slices")
+            }
+            ConfigError::InclusionViolation(why) => write!(f, "inclusion violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}

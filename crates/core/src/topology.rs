@@ -1,0 +1,251 @@
+//! Topology notation and partition helpers.
+//!
+//! The paper describes static cache topologies as `(x : y : z)`: each L2
+//! slice group serves `x` cores, each L3 group spans `y` L2 groups, and
+//! there are `z` L3 groups — so `x·y·z` equals the core count. The
+//! all-shared baseline is `(16:1:1)`, fully private is `(1:1:16)`.
+
+/// A symmetric `(x : y : z)` topology for an `n`-core CMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymmetricTopology {
+    /// Cores per L2 slice group.
+    pub x: usize,
+    /// L2 groups per L3 group.
+    pub y: usize,
+    /// Number of L3 groups.
+    pub z: usize,
+}
+
+impl SymmetricTopology {
+    /// Creates `(x : y : z)` for an `n`-core CMP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if `x·y·z != n` or any component is zero.
+    pub fn new(x: usize, y: usize, z: usize, n: usize) -> Result<Self, String> {
+        if x == 0 || y == 0 || z == 0 {
+            return Err("topology components must be nonzero".into());
+        }
+        if x * y * z != n {
+            return Err(format!("(x:y:z) = ({x}:{y}:{z}) does not cover {n} cores"));
+        }
+        Ok(Self { x, y, z })
+    }
+
+    /// Parses `"4:4:1"` (with or without parentheses) for an `n`-core CMP.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed component or coverage error.
+    pub fn parse(s: &str, n: usize) -> Result<Self, String> {
+        let trimmed = s.trim().trim_start_matches('(').trim_end_matches(')');
+        let parts: Vec<&str> = trimmed.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("expected x:y:z, got {s:?}"));
+        }
+        let nums: Result<Vec<usize>, _> =
+            parts.iter().map(|p| p.trim().parse::<usize>()).collect();
+        let nums = nums.map_err(|e| format!("bad component in {s:?}: {e}"))?;
+        Self::new(nums[0], nums[1], nums[2], n)
+    }
+
+    /// The L2 grouping: contiguous groups of `x` slices.
+    pub fn l2_groups(&self) -> Vec<Vec<usize>> {
+        contiguous_groups(self.x * self.y * self.z, self.x)
+    }
+
+    /// The L3 grouping: contiguous groups of `x·y` slices.
+    pub fn l3_groups(&self) -> Vec<Vec<usize>> {
+        contiguous_groups(self.x * self.y * self.z, self.x * self.y)
+    }
+
+    /// The paper's notation, e.g. `"(4:4:1)"`.
+    pub fn notation(&self) -> String {
+        format!("({}:{}:{})", self.x, self.y, self.z)
+    }
+
+    /// The five static topologies the paper evaluates against on 16 cores,
+    /// baseline `(16:1:1)` first.
+    pub fn paper_static_set() -> Vec<SymmetricTopology> {
+        [(16, 1, 1), (1, 1, 16), (4, 4, 1), (8, 2, 1), (1, 16, 1)]
+            .into_iter()
+            .map(|(x, y, z)| SymmetricTopology::new(x, y, z, 16).expect("valid static topology"))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for SymmetricTopology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.notation())
+    }
+}
+
+/// Contiguous groups of `size` slices covering `0..n`.
+pub fn contiguous_groups(n: usize, size: usize) -> Vec<Vec<usize>> {
+    (0..n).step_by(size).map(|s| (s..s + size).collect()).collect()
+}
+
+/// True if `groups` is a partition of `0..n`.
+pub fn is_partition(groups: &[Vec<usize>], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    for g in groups {
+        if g.is_empty() {
+            return false;
+        }
+        for &s in g {
+            if s >= n || seen[s] {
+                return false;
+            }
+            seen[s] = true;
+        }
+    }
+    seen.into_iter().all(|b| b)
+}
+
+/// True if every group of `finer` lies within one group of `coarser`.
+pub fn refines(finer: &[Vec<usize>], coarser: &[Vec<usize>]) -> bool {
+    let group_of = |s: usize| coarser.iter().position(|g| g.contains(&s));
+    finer.iter().all(|g| {
+        let first = group_of(g[0]);
+        first.is_some() && g.iter().all(|&s| group_of(s) == first)
+    })
+}
+
+/// True if the combined (L2, L3) configuration is symmetric: all groups at
+/// each level have equal size (the §2.4 asymmetry statistic counts the
+/// complement).
+pub fn is_symmetric(l2: &[Vec<usize>], l3: &[Vec<usize>]) -> bool {
+    let uniform = |gs: &[Vec<usize>]| gs.iter().all(|g| g.len() == gs[0].len());
+    uniform(l2) && uniform(l3)
+}
+
+/// The *meet* (common refinement) of two partitions: every nonempty
+/// pairwise intersection becomes a group. Used to sequence grouping
+/// transitions safely: the meet refines both inputs, so it can always be
+/// installed at L2 before the L3 grouping changes.
+pub fn meet(a: &[Vec<usize>], b: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for ga in a {
+        for gb in b {
+            let mut inter: Vec<usize> =
+                ga.iter().copied().filter(|s| gb.contains(s)).collect();
+            if !inter.is_empty() {
+                inter.sort_unstable();
+                out.push(inter);
+            }
+        }
+    }
+    out.sort_by_key(|g| g[0]);
+    out
+}
+
+/// The smallest power-of-two contiguous span physically covering `group`
+/// (the §5.5 "physical groups that are supersets of the required logical
+/// groups"). Used to derive the latency penalty of relaxed groupings.
+pub fn covering_pow2_span(group: &[usize]) -> usize {
+    let min = *group.iter().min().expect("non-empty group");
+    let max = *group.iter().max().expect("non-empty group");
+    (max - min + 1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notation_round_trip() {
+        let t = SymmetricTopology::parse("(4:4:1)", 16).unwrap();
+        assert_eq!(t.notation(), "(4:4:1)");
+        assert_eq!(SymmetricTopology::parse("1:1:16", 16).unwrap().x, 1);
+        assert!(SymmetricTopology::parse("4:4:2", 16).is_err());
+        assert!(SymmetricTopology::parse("4:4", 16).is_err());
+        assert!(SymmetricTopology::parse("a:b:c", 16).is_err());
+    }
+
+    #[test]
+    fn groupings_match_paper_semantics() {
+        // (4:4:1): L2 groups of 4 slices, one all-shared L3.
+        let t = SymmetricTopology::new(4, 4, 1, 16).unwrap();
+        let l2 = t.l2_groups();
+        let l3 = t.l3_groups();
+        assert_eq!(l2.len(), 4);
+        assert_eq!(l2[1], vec![4, 5, 6, 7]);
+        assert_eq!(l3.len(), 1);
+        assert_eq!(l3[0].len(), 16);
+        assert!(refines(&l2, &l3));
+    }
+
+    #[test]
+    fn baseline_and_private() {
+        let base = SymmetricTopology::new(16, 1, 1, 16).unwrap();
+        assert_eq!(base.l2_groups().len(), 1);
+        assert_eq!(base.l3_groups().len(), 1);
+        let private = SymmetricTopology::new(1, 1, 16, 16).unwrap();
+        assert_eq!(private.l2_groups().len(), 16);
+        assert_eq!(private.l3_groups().len(), 16);
+    }
+
+    #[test]
+    fn per_core_l2_shared_l3() {
+        // (1:16:1): per-core L2 slices, one shared L3.
+        let t = SymmetricTopology::new(1, 16, 1, 16).unwrap();
+        assert_eq!(t.l2_groups().len(), 16);
+        assert_eq!(t.l3_groups().len(), 1);
+    }
+
+    #[test]
+    fn paper_static_set_contents() {
+        let set = SymmetricTopology::paper_static_set();
+        let names: Vec<String> = set.iter().map(|t| t.notation()).collect();
+        assert_eq!(
+            names,
+            vec!["(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"]
+        );
+    }
+
+    #[test]
+    fn partition_and_refinement_checks() {
+        let a = contiguous_groups(8, 2);
+        assert!(is_partition(&a, 8));
+        assert!(!is_partition(&a, 9));
+        assert!(!is_partition(&[vec![0], vec![0, 1]], 2));
+        assert!(!is_partition(&[vec![]], 0) || true);
+        let coarse = contiguous_groups(8, 4);
+        assert!(refines(&a, &coarse));
+        assert!(!refines(&coarse, &a));
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let l2 = contiguous_groups(8, 2);
+        let l3 = contiguous_groups(8, 4);
+        assert!(is_symmetric(&l2, &l3));
+        let asym = vec![vec![0, 1, 2, 3], vec![4, 5], vec![6], vec![7]];
+        assert!(!is_symmetric(&asym, &l3));
+    }
+
+    #[test]
+    fn meet_is_common_refinement() {
+        let a = contiguous_groups(8, 4);
+        let b = contiguous_groups(8, 2);
+        let m = meet(&a, &b);
+        assert_eq!(m, contiguous_groups(8, 2));
+        assert!(refines(&m, &a));
+        assert!(refines(&m, &b));
+        // Crossing partitions.
+        let c = vec![vec![0, 1, 2], vec![3, 4, 5, 6, 7]];
+        let m2 = meet(&a, &c);
+        assert!(is_partition(&m2, 8));
+        assert!(refines(&m2, &a));
+        assert!(refines(&m2, &c));
+        assert!(m2.contains(&vec![3]));
+    }
+
+    #[test]
+    fn covering_span() {
+        assert_eq!(covering_pow2_span(&[0, 1]), 2);
+        assert_eq!(covering_pow2_span(&[0, 1, 2]), 4);
+        assert_eq!(covering_pow2_span(&[1, 7]), 8);
+        assert_eq!(covering_pow2_span(&[5]), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Analytic floorplan area/delay model (paper §3.2, Fig. 12, Tables 1–2).
+//!
+//! The paper synthesizes its arbiter hierarchy in 45 nm and derives wire
+//! delays from the Fig. 12 floorplan (15 mm × 20 mm die, 2.5 mm tile
+//! pitch, L2 arbiters along each side, L3 arbiters across the chip) with a
+//! Cacti 6.5 wire-delay constant of 0.038 ns/mm. This module recomputes
+//! Table 2's entries from the same constants: arbiter counts, total area,
+//! request/grant delays, the resulting maximum arbiter frequency, and the
+//! segmented-bus overhead in core cycles (15 unpipelined, 10 with the
+//! footnote-2 overlap optimization).
+
+/// Technology and synthesis constants (Table 1, plus per-cell constants
+/// derived from Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthesisParams {
+    /// Process node label.
+    pub technology: &'static str,
+    /// Wire delay in ns per mm (Cacti 6.5).
+    pub wire_ns_per_mm: f64,
+    /// Supply voltage.
+    pub vcc: f64,
+    /// Area of one two-input arbiter cell in µm² (Table 2: 160.5 µm² / 7
+    /// cells ≈ 343.9 µm² / 15 cells ≈ 22.93 µm²).
+    pub arbiter_area_um2: f64,
+    /// Request-path logic delay: `base + per_level × levels`
+    /// (fits Table 2: 3 levels → 0.38 ns, 4 levels → 0.49 ns).
+    pub request_logic_base_ns: f64,
+    /// See [`SynthesisParams::request_logic_base_ns`].
+    pub request_logic_per_level_ns: f64,
+    /// Grant-path logic delay (Table 2 reports 0.32 ns for both trees).
+    pub grant_logic_ns: f64,
+}
+
+impl SynthesisParams {
+    /// The paper's published constants.
+    pub fn paper() -> Self {
+        Self {
+            technology: "45nm (Synopsys)",
+            wire_ns_per_mm: 0.038,
+            vcc: 1.05,
+            arbiter_area_um2: 160.5 / 7.0,
+            request_logic_base_ns: 0.05,
+            request_logic_per_level_ns: 0.11,
+            grant_logic_ns: 0.32,
+        }
+    }
+}
+
+impl Default for SynthesisParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The Fig. 12 die: 15 mm × 20 mm, two columns of eight
+/// core+L1+L2+L3 tiles (2.5 mm pitch) flanking a 5 mm central column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Floorplan {
+    /// Die width in mm.
+    pub die_w_mm: f64,
+    /// Die height in mm.
+    pub die_h_mm: f64,
+    /// Vertical tile pitch in mm.
+    pub tile_pitch_mm: f64,
+    /// X coordinate of the left tile column's cache stack.
+    pub left_col_x_mm: f64,
+    /// X coordinate of the right tile column's cache stack.
+    pub right_col_x_mm: f64,
+}
+
+impl Floorplan {
+    /// The paper's Fig. 12 floorplan.
+    pub fn paper() -> Self {
+        Self {
+            die_w_mm: 15.0,
+            die_h_mm: 20.0,
+            tile_pitch_mm: 2.5,
+            left_col_x_mm: 2.5,
+            right_col_x_mm: 12.5,
+        }
+    }
+
+    /// Positions of the 8 L2 slices along one side of the chip
+    /// (`side = 0` left, `1` right).
+    pub fn l2_slice_positions(&self, side: usize) -> Vec<(f64, f64)> {
+        let x = if side == 0 { self.left_col_x_mm } else { self.right_col_x_mm };
+        (0..8)
+            .map(|i| (x, self.tile_pitch_mm / 2.0 + i as f64 * self.tile_pitch_mm))
+            .collect()
+    }
+
+    /// Positions of all 16 L3 slices (two columns of eight).
+    pub fn l3_slice_positions(&self) -> Vec<(f64, f64)> {
+        let mut v = self.l2_slice_positions(0);
+        v.extend(self.l2_slice_positions(1));
+        v
+    }
+}
+
+impl Default for Floorplan {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Computed area/delay figures for one arbiter tree placed on the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArbiterHierarchyModel {
+    /// Number of arbitration levels (log2 of the leaf count).
+    pub levels: usize,
+    /// Number of two-input arbiter cells.
+    pub n_arbiters: usize,
+    /// Total cell area in µm².
+    pub total_area_um2: f64,
+    /// Worst-case request wire delay, leaf to root, in ns.
+    pub request_wire_ns: f64,
+    /// Request logic delay in ns.
+    pub request_logic_ns: f64,
+    /// Worst-case grant wire delay (root back to leaf) in ns.
+    pub grant_wire_ns: f64,
+    /// Grant logic delay in ns.
+    pub grant_logic_ns: f64,
+}
+
+impl ArbiterHierarchyModel {
+    /// Builds the model for a tree over the given leaf positions (a power
+    /// of two of them), placing each internal arbiter at the centroid of
+    /// its children, as the hierarchical layout of Fig. 12 does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of leaves is not a power of two or is < 2.
+    pub fn new(leaves: &[(f64, f64)], params: &SynthesisParams) -> Self {
+        let n = leaves.len();
+        assert!(n.is_power_of_two() && n >= 2, "need a power-of-two leaf count >= 2");
+        let levels = n.trailing_zeros() as usize;
+        // Build arbiter positions level by level; track the worst
+        // accumulated leaf-to-root wire length.
+        let mut positions: Vec<(f64, f64)> = leaves.to_vec();
+        let mut worst_path: Vec<f64> = vec![0.0; n];
+        while positions.len() > 1 {
+            let mut next_pos = Vec::with_capacity(positions.len() / 2);
+            let mut next_path = Vec::with_capacity(positions.len() / 2);
+            for i in 0..positions.len() / 2 {
+                let a = positions[2 * i];
+                let b = positions[2 * i + 1];
+                let mid = ((a.0 + b.0) / 2.0, (a.1 + b.1) / 2.0);
+                let pa = worst_path[2 * i] + dist(a, mid);
+                let pb = worst_path[2 * i + 1] + dist(b, mid);
+                next_pos.push(mid);
+                next_path.push(pa.max(pb));
+            }
+            positions = next_pos;
+            worst_path = next_path;
+        }
+        let worst_mm = worst_path[0];
+        Self {
+            levels,
+            n_arbiters: n - 1,
+            total_area_um2: (n - 1) as f64 * params.arbiter_area_um2,
+            request_wire_ns: worst_mm * params.wire_ns_per_mm,
+            request_logic_ns: params.request_logic_base_ns
+                + params.request_logic_per_level_ns * levels as f64,
+            grant_wire_ns: worst_mm * params.wire_ns_per_mm,
+            grant_logic_ns: params.grant_logic_ns,
+        }
+    }
+
+    /// Total request-path delay in ns (wire + logic).
+    pub fn request_delay_ns(&self) -> f64 {
+        self.request_wire_ns + self.request_logic_ns
+    }
+
+    /// Total grant-path delay in ns (logic + wire).
+    pub fn grant_delay_ns(&self) -> f64 {
+        self.grant_logic_ns + self.grant_wire_ns
+    }
+
+    /// Maximum arbiter frequency in GHz, set by the slower of the request
+    /// and grant paths (the paper quotes 0.89 ns → 1.12 GHz for the
+    /// 4-level tree).
+    pub fn max_frequency_ghz(&self) -> f64 {
+        1.0 / self.request_delay_ns().max(self.grant_delay_ns())
+    }
+
+    /// Segmented-bus transaction overhead in *core* cycles: 3 bus cycles
+    /// (request, grant, transfer) scaled by the core/bus frequency ratio.
+    /// With `pipelined` (footnote 2), arbitration of the next transaction
+    /// overlaps the previous transfer, reducing 15 cycles to 10.
+    pub fn bus_overhead_core_cycles(core_ghz: f64, bus_ghz: f64, pipelined: bool) -> u64 {
+        let cycles = if pipelined { 2 } else { 3 };
+        (cycles as f64 * core_ghz / bus_ghz).round() as u64
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arbiter_counts_match_table2() {
+        let p = SynthesisParams::paper();
+        let fp = Floorplan::paper();
+        let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
+        let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
+        assert_eq!(l2.n_arbiters, 7);
+        assert_eq!(l2.levels, 3);
+        assert_eq!(l3.n_arbiters, 15);
+        assert_eq!(l3.levels, 4);
+    }
+
+    #[test]
+    fn areas_match_table2() {
+        let p = SynthesisParams::paper();
+        let fp = Floorplan::paper();
+        let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
+        let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
+        assert!((l2.total_area_um2 - 160.5).abs() < 0.5, "L2 area {}", l2.total_area_um2);
+        assert!((l3.total_area_um2 - 343.9).abs() < 1.0, "L3 area {}", l3.total_area_um2);
+    }
+
+    #[test]
+    fn logic_delays_match_table2() {
+        let p = SynthesisParams::paper();
+        let fp = Floorplan::paper();
+        let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
+        let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
+        assert!((l2.request_logic_ns - 0.38).abs() < 1e-9);
+        assert!((l3.request_logic_ns - 0.49).abs() < 1e-9);
+        assert!((l2.grant_logic_ns - 0.32).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_delays_within_model_tolerance_of_table2() {
+        // The paper quotes 0.31 ns (L2) and 0.40 ns (L3) for wire delay;
+        // our centroid-placement geometry reproduces them to within ~35%
+        // (the authors' exact arbiter placement is not published).
+        let p = SynthesisParams::paper();
+        let fp = Floorplan::paper();
+        let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
+        let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
+        assert!((l2.request_wire_ns - 0.31).abs() / 0.31 < 0.35, "L2 wire {}", l2.request_wire_ns);
+        assert!((l3.request_wire_ns - 0.40).abs() / 0.40 < 0.35, "L3 wire {}", l3.request_wire_ns);
+    }
+
+    #[test]
+    fn max_frequency_near_paper_value() {
+        // The paper's synthesis gives 1.12 GHz (0.89 ns critical path) and
+        // runs the bus conservatively at 1 GHz. Our centroid placement is
+        // slightly more pessimistic on wire length, so we check the model
+        // lands within 20% of the paper's frequency.
+        let p = SynthesisParams::paper();
+        let fp = Floorplan::paper();
+        let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
+        let f = l3.max_frequency_ghz();
+        assert!((f - 1.12).abs() / 1.12 < 0.20, "freq {f}");
+    }
+
+    #[test]
+    fn bus_overhead_is_15_core_cycles() {
+        assert_eq!(ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, false), 15);
+        assert_eq!(ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, true), 10);
+    }
+}

@@ -1,0 +1,67 @@
+//! # morph-interconnect
+//!
+//! The MorphCache interconnect (paper §3): a **segmented bus** whose
+//! adjacent segments can be dynamically connected or isolated by switches,
+//! with hierarchical **round-robin arbitration** performed by a tree of
+//! two-input arbiters (Figs. 7–11), plus an analytic **floorplan model**
+//! that recomputes the area and delay figures of Tables 1–2 from the
+//! published 45 nm technology constants and the Fig. 12 floorplan.
+//!
+//! Three layers are provided:
+//!
+//! * [`arbiter`] — the structural model: [`arbiter::RoundRobinArbiter`]
+//!   (the Fig. 10 two-input round-robin cell) and
+//!   [`arbiter::ArbiterTree`] (the Fig. 9 hierarchy with `Fwdreq`
+//!   masking and Fig. 11 `BusAcq` generation).
+//! * [`bus`] — the behavioural model: [`bus::SegmentedBus`] simulates
+//!   per-segment transactions cycle by cycle and exposes a contention
+//!   (queueing) estimate that the system simulator folds into merged-hit
+//!   latencies.
+//! * [`floorplan`] — the analytic model behind Table 2 and the 15-cycle
+//!   merged-access overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use morph_interconnect::bus::SegmentedBus;
+//!
+//! // 8 components in a (4,2,2) segment formation (Fig. 7).
+//! let mut bus = SegmentedBus::new(8);
+//! bus.configure(&[vec![0, 1, 2, 3], vec![4, 5], vec![6, 7]]).unwrap();
+//! assert_eq!(bus.n_segments(), 3);
+//! // Components 0 and 4 are in different segments: parallel transactions.
+//! bus.request(0);
+//! bus.request(4);
+//! let granted = bus.cycle();
+//! assert_eq!(granted.len(), 2);
+//! ```
+
+pub mod arbiter;
+pub mod bus;
+pub mod floorplan;
+
+pub use arbiter::{ArbiterTree, RoundRobinArbiter};
+pub use bus::SegmentedBus;
+pub use floorplan::{ArbiterHierarchyModel, Floorplan, SynthesisParams};
+
+/// Errors from interconnect configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterconnectError {
+    /// Segment lists did not form a partition of contiguous components.
+    InvalidSegments(String),
+    /// A component index was out of range.
+    ComponentOutOfRange(usize, usize),
+}
+
+impl std::fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InterconnectError::InvalidSegments(why) => write!(f, "invalid segments: {why}"),
+            InterconnectError::ComponentOutOfRange(c, n) => {
+                write!(f, "component {c} out of range for bus with {n} components")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterconnectError {}

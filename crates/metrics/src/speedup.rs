@@ -1,0 +1,100 @@
+//! Throughput and multiprogrammed speedup metrics (paper §5.1).
+
+/// Sum of per-core IPCs — the paper's throughput metric.
+pub fn throughput(ipcs: &[f64]) -> f64 {
+    ipcs.iter().sum()
+}
+
+/// Weighted speedup: `Σ IPC_i / IPC_alone_i`.
+///
+/// `alone[i]` is application `i`'s IPC when running by itself on the same
+/// hierarchy. Entries with a non-positive alone IPC are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn weighted_speedup(ipcs: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(ipcs.len(), alone.len(), "need one alone-IPC per application");
+    ipcs.iter()
+        .zip(alone.iter())
+        .filter(|&(_, &a)| a > 0.0)
+        .map(|(&i, &a)| i / a)
+        .sum()
+}
+
+/// Fair speedup: the harmonic mean of per-application speedups,
+/// `N / Σ (IPC_alone_i / IPC_i)` (Smith [25]).
+///
+/// Returns 0 if any application made no progress.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn fair_speedup(ipcs: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(ipcs.len(), alone.len(), "need one alone-IPC per application");
+    let n = ipcs.len() as f64;
+    let mut denom = 0.0;
+    for (&i, &a) in ipcs.iter().zip(alone.iter()) {
+        if i <= 0.0 {
+            return 0.0;
+        }
+        if a > 0.0 {
+            denom += a / i;
+        }
+    }
+    if denom > 0.0 {
+        n / denom
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_sum() {
+        assert_eq!(throughput(&[0.5, 1.0, 1.5]), 3.0);
+        assert_eq!(throughput(&[]), 0.0);
+    }
+
+    #[test]
+    fn ws_counts_relative_progress() {
+        // Every app at its alone speed: WS = N.
+        let alone = [1.0, 2.0];
+        assert_eq!(weighted_speedup(&[1.0, 2.0], &alone), 2.0);
+        // Halved: WS = N/2.
+        assert_eq!(weighted_speedup(&[0.5, 1.0], &alone), 1.0);
+    }
+
+    #[test]
+    fn fs_is_harmonic_mean_of_speedups() {
+        let alone = [1.0, 1.0];
+        // Speedups 1 and 1 -> FS 1.
+        assert!((fair_speedup(&[1.0, 1.0], &alone) - 1.0).abs() < 1e-12);
+        // Speedups 2 and 2/3 -> harmonic mean 1.0.
+        let fs = fair_speedup(&[2.0, 2.0 / 3.0], &alone);
+        assert!((fs - 1.0).abs() < 1e-12, "{fs}");
+    }
+
+    #[test]
+    fn fs_punishes_starvation_more_than_ws() {
+        let alone = [1.0, 1.0];
+        // One app starved to 1% while the other doubles.
+        let ws = weighted_speedup(&[0.01, 2.0], &alone);
+        let fs = fair_speedup(&[0.01, 2.0], &alone);
+        assert!(ws > 2.0 * fs, "WS {ws} vs FS {fs}");
+    }
+
+    #[test]
+    fn fs_zero_when_no_progress() {
+        assert_eq!(fair_speedup(&[0.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alone-IPC")]
+    fn mismatched_lengths_panic() {
+        weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! System-level run configuration.
+
+use morph_cache::HierarchyParams;
+use morph_cpu::CoreParams;
+
+/// Everything needed to construct and drive one simulated run.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemConfig {
+    /// Cache hierarchy geometry and latencies.
+    pub hierarchy: HierarchyParams,
+    /// Core timing parameters.
+    pub core: CoreParams,
+    /// Cycles per epoch (the paper's reconfiguration interval is 300 M
+    /// cycles; runs here default to a 1000× scale-down, which preserves
+    /// all normalized results — see DESIGN.md).
+    pub epoch_cycles: u64,
+    /// Number of epochs (the paper's region of interest is 20 intervals).
+    pub n_epochs: usize,
+    /// Scheduler interleaving quantum in cycles.
+    pub quantum: u64,
+    /// Warm-up epochs run (and reconfigured on) before measurement starts
+    /// — the paper measures a "region of interest in a warmed up cache".
+    pub warmup_epochs: usize,
+    /// Workload RNG seed.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 16-core configuration at 1000× time scale-down:
+    /// full Table 3 cache geometry, 300 K-cycle epochs, 20 epochs.
+    pub fn paper(n_cores: usize) -> Self {
+        Self {
+            hierarchy: HierarchyParams::paper(n_cores),
+            core: CoreParams::paper(),
+            epoch_cycles: 4_000_000,
+            n_epochs: 20,
+            quantum: 2_000,
+            warmup_epochs: 2,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A fast small configuration for unit/integration tests: 1/8-scale
+    /// caches, short epochs.
+    pub fn quick_test(n_cores: usize) -> Self {
+        Self {
+            hierarchy: HierarchyParams::scaled_down(n_cores),
+            core: CoreParams::paper(),
+            epoch_cycles: 400_000,
+            n_epochs: 4,
+            quantum: 1_000,
+            warmup_epochs: 1,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Number of cores (== slices per level).
+    pub fn n_cores(&self) -> usize {
+        self.hierarchy.n_cores
+    }
+
+    /// Lines per L2 slice (the ACF calibration basis for streams and the
+    /// decision-ACFV sizing).
+    pub fn l2_slice_lines(&self) -> usize {
+        self.hierarchy.l2_slice.lines()
+    }
+
+    /// Lines per L3 slice.
+    pub fn l3_slice_lines(&self) -> usize {
+        self.hierarchy.l3_slice.lines()
+    }
+
+    /// Returns a copy with a different seed (for replicated runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different epoch count.
+    pub fn with_epochs(mut self, n: usize) -> Self {
+        self.n_epochs = n;
+        self
+    }
+
+    /// Returns a copy with a different epoch length in cycles.
+    pub fn with_epoch_cycles(mut self, cycles: u64) -> Self {
+        self.epoch_cycles = cycles;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_shape() {
+        let c = SystemConfig::paper(16);
+        assert_eq!(c.n_cores(), 16);
+        assert_eq!(c.l2_slice_lines(), 4096);
+        assert_eq!(c.l3_slice_lines(), 16384);
+        assert_eq!(c.n_epochs, 20);
+        assert_eq!(c.warmup_epochs, 2);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SystemConfig::quick_test(4).with_seed(9).with_epochs(3);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.n_epochs, 3);
+    }
+}

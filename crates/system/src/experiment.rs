@@ -1,0 +1,178 @@
+//! One-call experiment runners used by the benches, examples and tests.
+
+use crate::config::SystemConfig;
+use crate::policy::Policy;
+use crate::sim::{EpochResult, SystemSim};
+use crate::workload::Workload;
+
+/// The full result of one policy × workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Display name of the policy.
+    pub policy_name: String,
+    /// Display name of the workload.
+    pub workload_name: String,
+    /// Per-epoch results, in order.
+    pub epochs: Vec<EpochResult>,
+}
+
+impl RunResult {
+    /// Mean (over epochs) of the per-epoch throughput (Σ IPC).
+    pub fn mean_throughput(&self) -> f64 {
+        if self.epochs.is_empty() {
+            return 0.0;
+        }
+        self.epochs.iter().map(|e| e.throughput()).sum::<f64>() / self.epochs.len() as f64
+    }
+
+    /// Per-core mean IPCs over all epochs.
+    pub fn mean_ipcs(&self) -> Vec<f64> {
+        if self.epochs.is_empty() {
+            return Vec::new();
+        }
+        let n = self.epochs[0].ipcs.len();
+        let mut acc = vec![0.0; n];
+        for e in &self.epochs {
+            for (a, &i) in acc.iter_mut().zip(e.ipcs.iter()) {
+                *a += i;
+            }
+        }
+        acc.iter().map(|a| a / self.epochs.len() as f64).collect()
+    }
+
+    /// Per-epoch throughput series (for the Fig. 2(a) time plot).
+    pub fn throughput_series(&self) -> Vec<f64> {
+        self.epochs.iter().map(|e| e.throughput()).collect()
+    }
+
+    /// Total reconfigurations performed (§2.4 statistic).
+    pub fn total_reconfigs(&self) -> usize {
+        self.epochs.iter().map(|e| e.reconfig_events).sum()
+    }
+
+    /// Fraction of reconfigurations that left an asymmetric configuration
+    /// (§2.4 statistic); 0 if no reconfigurations happened.
+    pub fn asymmetric_fraction(&self) -> f64 {
+        let total = self.total_reconfigs();
+        if total == 0 {
+            return 0.0;
+        }
+        let asym: usize = self.epochs.iter().map(|e| e.asymmetric_events).sum();
+        asym as f64 / total as f64
+    }
+
+    /// Per-core total misses over the run (QoS analysis, §5.3).
+    pub fn total_misses_by_core(&self) -> Vec<u64> {
+        if self.epochs.is_empty() {
+            return Vec::new();
+        }
+        let n = self.epochs[0].misses_by_core.len();
+        let mut acc = vec![0u64; n];
+        for e in &self.epochs {
+            for (a, &m) in acc.iter_mut().zip(e.misses_by_core.iter()) {
+                *a += m;
+            }
+        }
+        acc
+    }
+}
+
+/// Runs `workload` under `policy` for the configured number of epochs.
+///
+/// # Panics
+///
+/// Panics if the policy is incompatible with the configuration (e.g. a
+/// topology for the wrong core count) — experiment definitions are static,
+/// so this is a programming error, not an input error.
+pub fn run_workload(cfg: &SystemConfig, workload: &Workload, policy: &Policy) -> RunResult {
+    let mut sim = SystemSim::new(*cfg, workload, policy).expect("experiment setup is valid");
+    let epochs = sim.run();
+    RunResult {
+        policy_name: policy.name(),
+        workload_name: workload.name(),
+        epochs,
+    }
+}
+
+/// Runs several (workload, policy) jobs in parallel (one thread per job,
+/// bounded by the host's parallelism), preserving input order.
+pub fn run_matrix(cfg: &SystemConfig, jobs: &[(Workload, Policy)]) -> Vec<RunResult> {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut results: Vec<Option<RunResult>> = vec![None; jobs.len()];
+    for chunk_indices in (0..jobs.len()).collect::<Vec<_>>().chunks(max_threads) {
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for &i in chunk_indices {
+                let (w, p) = &jobs[i];
+                handles.push((i, scope.spawn(move |_| run_workload(cfg, w, p))));
+            }
+            for (i, h) in handles {
+                results[i] = Some(h.join().expect("experiment thread panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+    }
+    results.into_iter().map(|r| r.expect("all jobs ran")).collect()
+}
+
+/// Per-application "alone" IPCs for the weighted/fair speedup metrics:
+/// each application runs by itself on a single-core hierarchy with the
+/// same slice geometry.
+pub fn alone_ipcs(cfg: &SystemConfig, workload: &Workload) -> Vec<f64> {
+    let n = cfg.n_cores();
+    (0..n)
+        .map(|c| {
+            let profile = workload.profile_of(c);
+            let mut solo_cfg = *cfg;
+            solo_cfg.hierarchy.n_cores = 1;
+            let solo = Workload::Apps(vec![profile]);
+            let result = run_workload(&solo_cfg, &solo, &Policy::baseline(1));
+            result.mean_ipcs()[0]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_result_aggregations() {
+        let cfg = SystemConfig::quick_test(4).with_epochs(4);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let r = run_workload(&cfg, &w, &Policy::baseline(4));
+        assert_eq!(r.epochs.len(), 4);
+        assert_eq!(r.mean_ipcs().len(), 4);
+        assert!(r.mean_throughput() > 0.0);
+        assert_eq!(r.throughput_series().len(), 4);
+        assert_eq!(r.policy_name, "(4:1:1)");
+        assert!(r.total_misses_by_core().iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn matrix_preserves_order_and_matches_serial() {
+        let cfg = SystemConfig::quick_test(4).with_epochs(2);
+        let w1 = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let w2 = Workload::named_apps(&["astar", "milc", "lbm", "sjeng"]).unwrap();
+        let jobs = vec![
+            (w1.clone(), Policy::baseline(4)),
+            (w2.clone(), Policy::static_topology("1:1:4", 4)),
+        ];
+        let par = run_matrix(&cfg, &jobs);
+        let ser = vec![
+            run_workload(&cfg, &w1, &Policy::baseline(4)),
+            run_workload(&cfg, &w2, &Policy::static_topology("1:1:4", 4)),
+        ];
+        assert_eq!(par[0].mean_throughput(), ser[0].mean_throughput());
+        assert_eq!(par[1].mean_throughput(), ser[1].mean_throughput());
+    }
+
+    #[test]
+    fn alone_ipcs_positive() {
+        let cfg = SystemConfig::quick_test(2).with_epochs(2);
+        let w = Workload::named_apps(&["gcc", "libq"]).unwrap();
+        let alone = alone_ipcs(&cfg, &w);
+        assert_eq!(alone.len(), 2);
+        assert!(alone.iter().all(|&i| i > 0.0));
+    }
+}

@@ -1,0 +1,47 @@
+//! # morph-system
+//!
+//! The system-level simulator of the MorphCache reproduction: wires the
+//! trace-driven cores (`morph-cpu`), synthetic workloads (`morph-trace`),
+//! the inclusive cache hierarchy (`morph-cache`), the segmented-bus timing
+//! constants (`morph-interconnect`) and a topology policy — static
+//! `(x:y:z)`, the adaptive MorphCache engine (`morphcache`), the ideal
+//! offline scheme of §5.1, or the PIPP/DSR baselines (`morph-baselines`)
+//! — into epoch-driven runs that produce the numbers behind every table
+//! and figure of the paper.
+//!
+//! * [`config`] — [`config::SystemConfig`]: geometry, epochs, seeds;
+//! * [`workload`] — [`workload::Workload`]: a Table 5 mix, an arbitrary
+//!   application list, or a 16-thread PARSEC application;
+//! * [`policy`] — [`policy::Policy`]: which cache-management scheme runs;
+//! * [`sim`] — [`sim::SystemSim`]: the epoch loop;
+//! * [`probes`] — event-sink probes (engine adapter, oracle footprints,
+//!   ACFV sweeps for Fig. 5);
+//! * [`experiment`] — one-call runners used by the benches and examples.
+//!
+//! # Example
+//!
+//! ```
+//! use morph_system::prelude::*;
+//!
+//! let cfg = SystemConfig::quick_test(4);
+//! let apps = ["gcc", "hmmer", "mcf", "libquantum"];
+//! let run = run_workload(&cfg, &Workload::named_apps(&apps).unwrap(), &Policy::morph(&cfg));
+//! assert!(run.mean_throughput() > 0.0);
+//! ```
+
+pub mod config;
+pub mod experiment;
+pub mod policy;
+pub mod probes;
+pub mod sim;
+pub mod workload;
+
+/// Convenient glob-import surface for examples and benches.
+pub mod prelude {
+    pub use crate::config::SystemConfig;
+    pub use crate::experiment::{alone_ipcs, run_workload, RunResult};
+    pub use crate::policy::Policy;
+    pub use crate::sim::{EpochResult, SystemSim};
+    pub use crate::workload::Workload;
+    pub use morphcache::SymmetricTopology;
+}

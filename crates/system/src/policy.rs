@@ -1,0 +1,119 @@
+//! Topology / cache-management policies a run can use.
+
+use crate::config::SystemConfig;
+use morphcache::{GroupingMode, MorphConfig, SymmetricTopology};
+
+/// Which cache-management scheme manages the hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Policy {
+    /// A fixed `(x:y:z)` topology with the paper's static-latency
+    /// assumption (10-cycle L2 / 30-cycle L3 hits regardless of sharing).
+    Static(SymmetricTopology),
+    /// The adaptive MorphCache engine; remote (merged) hits pay the
+    /// segmented-bus overhead (25/45 cycles).
+    Morph(MorphConfig),
+    /// The §5.1 ideal offline scheme: every epoch is run under each
+    /// candidate static topology from a snapshot and the best is kept.
+    IdealOffline(Vec<SymmetricTopology>),
+    /// PIPP [28] on fully shared L2 and L3.
+    Pipp,
+    /// DSR [18] on private L2 and L3 slices.
+    Dsr,
+}
+
+impl Policy {
+    /// The baseline `(16:1:1)` shared-everything topology.
+    pub fn baseline(n_cores: usize) -> Self {
+        Policy::Static(
+            SymmetricTopology::new(n_cores, 1, 1, n_cores).expect("valid baseline topology"),
+        )
+    }
+
+    /// A static topology parsed from `"x:y:z"`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed or non-covering topology string.
+    pub fn static_topology(s: &str, n_cores: usize) -> Self {
+        Policy::Static(SymmetricTopology::parse(s, n_cores).expect("valid topology string"))
+    }
+
+    /// MorphCache with paper defaults, decision vectors calibrated to the
+    /// configured slice geometry (see `MorphConfig::calibrated`).
+    pub fn morph(cfg: &SystemConfig) -> Self {
+        Policy::Morph(MorphConfig::calibrated(cfg.l2_slice_lines(), cfg.l3_slice_lines()))
+    }
+
+    /// MorphCache with QoS throttling enabled (§5.3).
+    pub fn morph_qos(cfg: &SystemConfig) -> Self {
+        Policy::Morph(MorphConfig {
+            qos: true,
+            ..MorphConfig::calibrated(cfg.l2_slice_lines(), cfg.l3_slice_lines())
+        })
+    }
+
+    /// MorphCache with a relaxed grouping mode (§5.5).
+    pub fn morph_with_grouping(cfg: &SystemConfig, grouping: GroupingMode) -> Self {
+        Policy::Morph(MorphConfig {
+            grouping,
+            ..MorphConfig::calibrated(cfg.l2_slice_lines(), cfg.l3_slice_lines())
+        })
+    }
+
+    /// The ideal offline scheme over the paper's five static topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores != 16` is incompatible with the paper set; use
+    /// [`Policy::IdealOffline`] directly for other core counts.
+    pub fn ideal_paper_set() -> Self {
+        Policy::IdealOffline(SymmetricTopology::paper_static_set())
+    }
+
+    /// Short display name for report rows.
+    pub fn name(&self) -> String {
+        match self {
+            Policy::Static(t) => t.notation(),
+            Policy::Morph(c) if c.qos => "MorphCache+QoS".into(),
+            Policy::Morph(c) => match c.grouping {
+                GroupingMode::BuddyPowerOfTwo => "MorphCache".into(),
+                GroupingMode::ArbitraryContiguous => "MorphCache(arb)".into(),
+                GroupingMode::NonNeighbor => "MorphCache(nn)".into(),
+            },
+            Policy::IdealOffline(_) => "Ideal offline".into(),
+            Policy::Pipp => "PIPP".into(),
+            Policy::Dsr => "DSR".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        let cfg = SystemConfig::quick_test(4);
+        assert_eq!(Policy::baseline(4).name(), "(4:1:1)");
+        assert_eq!(Policy::morph(&cfg).name(), "MorphCache");
+        assert_eq!(Policy::morph_qos(&cfg).name(), "MorphCache+QoS");
+        assert_eq!(Policy::Pipp.name(), "PIPP");
+        assert_eq!(Policy::Dsr.name(), "DSR");
+        assert_eq!(Policy::ideal_paper_set().name(), "Ideal offline");
+        assert_eq!(
+            Policy::morph_with_grouping(&cfg, GroupingMode::NonNeighbor).name(),
+            "MorphCache(nn)"
+        );
+    }
+
+    #[test]
+    fn morph_config_is_calibrated() {
+        let cfg = SystemConfig::quick_test(4);
+        if let Policy::Morph(mc) = Policy::morph(&cfg) {
+            assert_eq!(mc.l2_slice_lines, cfg.l2_slice_lines());
+            assert_eq!(mc.acfv_bits, cfg.l3_slice_lines());
+        } else {
+            panic!("expected Morph policy");
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! The epoch-driven system simulator.
+
+use crate::config::SystemConfig;
+use crate::policy::Policy;
+use crate::probes::{EngineSink, TeeSink};
+use crate::workload::Workload;
+use morph_baselines::{DsrSystem, PippSystem};
+use morph_cache::{CacheEventSink, Grouping, Hierarchy, MemorySubsystem, NoopSink};
+use morph_cpu::{Core, QuantumScheduler};
+use morph_trace::stream::{AccessStream, SyntheticStream};
+use morphcache::topology::{covering_pow2_span, meet};
+use morphcache::{MorphEngine, SymmetricTopology};
+
+/// Results of one simulated epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochResult {
+    /// 0-based epoch index.
+    pub epoch: u64,
+    /// Per-core IPC over the epoch.
+    pub ipcs: Vec<f64>,
+    /// Per-core L2+L3 misses during the epoch.
+    pub misses_by_core: Vec<u64>,
+    /// Reconfigurations (merges + splits) performed at the epoch boundary.
+    pub reconfig_events: usize,
+    /// How many of those reconfigurations left an asymmetric
+    /// configuration (§2.4 statistic).
+    pub asymmetric_events: usize,
+    /// Whether the configuration after this epoch is asymmetric.
+    pub asymmetric: bool,
+    /// Canonical description of the L2 grouping after the epoch.
+    pub l2_grouping: String,
+    /// Canonical description of the L3 grouping after the epoch.
+    pub l3_grouping: String,
+    /// For the ideal offline scheme: the topology chosen for this epoch.
+    pub chosen_topology: Option<String>,
+}
+
+impl EpochResult {
+    /// Sum of per-core IPCs (the paper's throughput metric).
+    pub fn throughput(&self) -> f64 {
+        self.ipcs.iter().sum()
+    }
+}
+
+enum Backend {
+    /// LRU hierarchy with a static topology.
+    Static(Box<Hierarchy>),
+    /// LRU hierarchy managed by the MorphCache engine.
+    Morph(Box<Hierarchy>, Box<MorphEngine>),
+    /// LRU hierarchy re-chosen each epoch from static candidates (§5.1).
+    Ideal(Box<Hierarchy>, Vec<SymmetricTopology>),
+    Pipp(Box<PippSystem>),
+    Dsr(Box<DsrSystem>),
+}
+
+/// A complete simulated CMP: cores + streams + memory system + policy.
+pub struct SystemSim {
+    cfg: SystemConfig,
+    backend: Backend,
+    cores: Vec<Core>,
+    streams: Vec<SyntheticStream>,
+    scheduler: QuantumScheduler,
+    epoch: u64,
+}
+
+impl SystemSim {
+    /// Builds a simulator for `workload` under `policy`.
+    ///
+    /// Static topologies (and the ideal offline scheme) use the paper's
+    /// static-latency assumption — fixed 10/30-cycle L2/L3 hits; the
+    /// MorphCache hierarchy pays the segmented-bus overhead on merged
+    /// (remote-slice) hits.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the topology does not fit the core count.
+    pub fn new(cfg: SystemConfig, workload: &Workload, policy: &Policy) -> Result<Self, String> {
+        let n = cfg.n_cores();
+        let streams = workload.streams(&cfg);
+        let cores: Vec<Core> = (0..n).map(|c| Core::new(c, cfg.core)).collect();
+        let backend = match policy {
+            Policy::Static(t) => {
+                if t.x * t.y * t.z != n {
+                    return Err(format!("topology {t} does not cover {n} cores"));
+                }
+                let mut hp = cfg.hierarchy;
+                hp.latency = hp.latency.paper_static();
+                let mut hier = Hierarchy::new(hp);
+                apply_groups(&mut hier, &t.l2_groups(), &t.l3_groups())?;
+                Backend::Static(Box::new(hier))
+            }
+            Policy::Morph(mc) => {
+                // Footnote 2 of the paper: overlapping arbitration with the
+                // previous transfer reduces the merged-hit interconnect
+                // overhead from 15 to 10 core cycles. MorphCache runs with
+                // the pipelined segmented bus.
+                let mut hp = cfg.hierarchy;
+                hp.latency.l2_merged = hp.latency.l2_local + 10;
+                hp.latency.l3_merged = hp.latency.l3_local + 10;
+                let hier = Hierarchy::new(hp);
+                let engine = MorphEngine::new(n, workload.app_ids(n), *mc);
+                Backend::Morph(Box::new(hier), Box::new(engine))
+            }
+            Policy::IdealOffline(cands) => {
+                if cands.is_empty() {
+                    return Err("ideal offline scheme needs at least one candidate".into());
+                }
+                for t in cands {
+                    if t.x * t.y * t.z != n {
+                        return Err(format!("candidate {t} does not cover {n} cores"));
+                    }
+                }
+                let mut hp = cfg.hierarchy;
+                hp.latency = hp.latency.paper_static();
+                let mut hier = Hierarchy::new(hp);
+                apply_groups(&mut hier, &cands[0].l2_groups(), &cands[0].l3_groups())?;
+                Backend::Ideal(Box::new(hier), cands.clone())
+            }
+            Policy::Pipp => Backend::Pipp(Box::new(PippSystem::new(
+                n,
+                cfg.hierarchy.l1,
+                cfg.hierarchy.l2_slice,
+                cfg.hierarchy.l3_slice,
+                cfg.hierarchy.latency,
+            ))),
+            Policy::Dsr => Backend::Dsr(Box::new(DsrSystem::new(
+                n,
+                cfg.hierarchy.l1,
+                cfg.hierarchy.l2_slice,
+                cfg.hierarchy.l3_slice,
+                cfg.hierarchy.latency,
+            ))),
+        };
+        Ok(Self {
+            backend,
+            cores,
+            streams,
+            scheduler: QuantumScheduler::new(cfg.quantum),
+            epoch: 0,
+            cfg,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The MorphCache engine, if this simulator runs one.
+    pub fn engine(&self) -> Option<&MorphEngine> {
+        match &self.backend {
+            Backend::Morph(_, e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The LRU hierarchy, if this backend has one.
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        match &self.backend {
+            Backend::Static(h) | Backend::Morph(h, _) | Backend::Ideal(h, _) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Runs one epoch with no external probe.
+    pub fn run_epoch(&mut self) -> EpochResult {
+        let mut noop = NoopSink;
+        self.run_epoch_probed(&mut noop)
+    }
+
+    /// Runs one epoch, duplicating all cache events into `probe`.
+    pub fn run_epoch_probed(&mut self, probe: &mut dyn CacheEventSink) -> EpochResult {
+        let epoch = self.epoch;
+        let cycles = self.cfg.epoch_cycles;
+        let result = match &mut self.backend {
+            Backend::Static(hier) => {
+                hier.reset_stats();
+                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, hier.as_mut(), probe, cycles);
+                let ipcs = take_ipcs(&mut self.cores);
+                let misses = hierarchy_misses(hier);
+                EpochResult {
+                    epoch,
+                    ipcs,
+                    misses_by_core: misses,
+                    reconfig_events: 0,
+                    asymmetric_events: 0,
+                    asymmetric: false,
+                    l2_grouping: hier.l2().grouping().describe(),
+                    l3_grouping: hier.l3().grouping().describe(),
+                    chosen_topology: None,
+                }
+            }
+            Backend::Morph(hier, engine) => {
+                hier.reset_stats();
+                {
+                    let mut esink = EngineSink::new(engine);
+                    let mut tee = TeeSink::new(&mut esink, probe);
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        hier.as_mut(),
+                        &mut tee,
+                        cycles,
+                    );
+                }
+                let ipcs = take_ipcs(&mut self.cores);
+                let misses = hierarchy_misses(hier);
+                engine.note_epoch_misses(&misses);
+                engine.note_epoch_perf(&ipcs);
+                let outcome = engine.reconfigure(epoch);
+                apply_groups(hier, &outcome.l2_groups, &outcome.l3_groups)
+                    .expect("engine groupings are inclusion-safe");
+                // §5.5 relaxed groupings: distant members pay a
+                // span-proportional bus penalty (on the pipelined bus).
+                let mut base = self.cfg.hierarchy.latency;
+                base.l2_merged = base.l2_local + 10;
+                base.l3_merged = base.l3_local + 10;
+                let f2 = span_factor(&outcome.l2_groups);
+                let f3 = span_factor(&outcome.l3_groups);
+                hier.set_merged_latencies(
+                    base.l2_local + ((base.l2_merged - base.l2_local) as f64 * f2) as u64,
+                    base.l3_local + ((base.l3_merged - base.l3_local) as f64 * f3) as u64,
+                );
+                EpochResult {
+                    epoch,
+                    ipcs,
+                    misses_by_core: misses,
+                    reconfig_events: outcome.events.len(),
+                    asymmetric_events: outcome
+                        .events
+                        .iter()
+                        .filter(|e| e.asymmetric_after)
+                        .count(),
+                    asymmetric: outcome.asymmetric,
+                    l2_grouping: hier.l2().grouping().describe(),
+                    l3_grouping: hier.l3().grouping().describe(),
+                    chosen_topology: None,
+                }
+            }
+            Backend::Ideal(hier, candidates) => {
+                // Trial-run every candidate from a snapshot, keep the best.
+                let snapshot = (hier.clone(), self.cores.clone(), self.streams.clone());
+                let mut best: Option<(f64, SymmetricTopology)> = None;
+                for t in candidates.iter() {
+                    let mut h = snapshot.0.clone();
+                    let mut cs = snapshot.1.clone();
+                    let mut ss = snapshot.2.clone();
+                    if apply_groups(&mut h, &t.l2_groups(), &t.l3_groups()).is_err() {
+                        continue;
+                    }
+                    let mut noop = NoopSink;
+                    self.scheduler.run_epoch(&mut cs, &mut ss, &mut *h, &mut noop, cycles);
+                    let tp: f64 = cs.iter_mut().map(|c| c.take_progress().ipc()).sum();
+                    if best.map(|(b, _)| tp > b).unwrap_or(true) {
+                        best = Some((tp, *t));
+                    }
+                }
+                let (_, chosen) = best.expect("at least one candidate ran");
+                // Commit: restore the snapshot and run under the winner.
+                **hier = *snapshot.0;
+                self.cores = snapshot.1;
+                self.streams = snapshot.2;
+                apply_groups(hier, &chosen.l2_groups(), &chosen.l3_groups())
+                    .expect("candidate topology is self-consistent");
+                hier.reset_stats();
+                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, hier.as_mut(), probe, cycles);
+                let ipcs = take_ipcs(&mut self.cores);
+                let misses = hierarchy_misses(hier);
+                EpochResult {
+                    epoch,
+                    ipcs,
+                    misses_by_core: misses,
+                    reconfig_events: 0,
+                    asymmetric_events: 0,
+                    asymmetric: false,
+                    l2_grouping: hier.l2().grouping().describe(),
+                    l3_grouping: hier.l3().grouping().describe(),
+                    chosen_topology: Some(chosen.notation()),
+                }
+            }
+            Backend::Pipp(sys) => {
+                let before = sys.l3_misses_by_core.clone();
+                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, &mut **sys, probe, cycles);
+                sys.epoch_boundary();
+                let ipcs = take_ipcs(&mut self.cores);
+                let misses = sys
+                    .l3_misses_by_core
+                    .iter()
+                    .zip(before.iter())
+                    .map(|(a, b)| a - b)
+                    .collect();
+                EpochResult {
+                    epoch,
+                    ipcs,
+                    misses_by_core: misses,
+                    reconfig_events: 0,
+                    asymmetric_events: 0,
+                    asymmetric: false,
+                    l2_grouping: "PIPP shared".into(),
+                    l3_grouping: "PIPP shared".into(),
+                    chosen_topology: None,
+                }
+            }
+            Backend::Dsr(sys) => {
+                let before = sys.l3_misses_by_core.clone();
+                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, &mut **sys, probe, cycles);
+                sys.epoch_boundary();
+                let ipcs = take_ipcs(&mut self.cores);
+                let misses = sys
+                    .l3_misses_by_core
+                    .iter()
+                    .zip(before.iter())
+                    .map(|(a, b)| a - b)
+                    .collect();
+                EpochResult {
+                    epoch,
+                    ipcs,
+                    misses_by_core: misses,
+                    reconfig_events: 0,
+                    asymmetric_events: 0,
+                    asymmetric: false,
+                    l2_grouping: "DSR private".into(),
+                    l3_grouping: "DSR private".into(),
+                    chosen_topology: None,
+                }
+            }
+        };
+        for s in &mut self.streams {
+            s.advance_epoch();
+        }
+        self.epoch += 1;
+        result
+    }
+
+    /// Runs the configured warm-up epochs (discarded) followed by the
+    /// measured epochs.
+    pub fn run(&mut self) -> Vec<EpochResult> {
+        for _ in 0..self.cfg.warmup_epochs {
+            self.run_epoch();
+        }
+        (0..self.cfg.n_epochs).map(|_| self.run_epoch()).collect()
+    }
+}
+
+fn take_ipcs(cores: &mut [Core]) -> Vec<f64> {
+    cores.iter_mut().map(|c| c.take_progress().ipc()).collect()
+}
+
+fn hierarchy_misses(hier: &Hierarchy) -> Vec<u64> {
+    hier.l2()
+        .stats
+        .misses_by_core
+        .iter()
+        .zip(hier.l3().stats.misses_by_core.iter())
+        .map(|(a, b)| a + b)
+        .collect()
+}
+
+/// Worst covering-span inflation over the non-singleton groups: 1.0 for
+/// buddy-aligned groupings, larger when logical groups ride a physical
+/// superset segment (§5.5).
+fn span_factor(groups: &[Vec<usize>]) -> f64 {
+    groups
+        .iter()
+        .filter(|g| g.len() > 1)
+        .map(|g| covering_pow2_span(g) as f64 / g.len() as f64)
+        .fold(1.0, f64::max)
+}
+
+/// Installs a target (L2, L3) grouping pair on the hierarchy in an
+/// inclusion-safe order: first the meet of the target L2 with the current
+/// L3 (always a legal L2), then the target L3, then the target L2.
+pub fn apply_groups(
+    hier: &mut Hierarchy,
+    l2_groups: &[Vec<usize>],
+    l3_groups: &[Vec<usize>],
+) -> Result<(), String> {
+    let n = hier.params().n_cores;
+    let current_l3: Vec<Vec<usize>> =
+        hier.l3().grouping().iter().map(|g| g.to_vec()).collect();
+    let intermediate = meet(l2_groups, &current_l3);
+    let to_grouping = |gs: &[Vec<usize>]| {
+        Grouping::from_groups(n, gs.to_vec()).map_err(|e| e.to_string())
+    };
+    hier.set_l2_grouping(to_grouping(&intermediate)?).map_err(|e| e.to_string())?;
+    hier.set_l3_grouping(to_grouping(l3_groups)?).map_err(|e| e.to_string())?;
+    hier.set_l2_grouping(to_grouping(l2_groups)?).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(n: usize) -> SystemConfig {
+        SystemConfig::quick_test(n)
+    }
+
+    #[test]
+    fn static_run_produces_epochs() {
+        let cfg = quick(4);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let mut sim = SystemSim::new(cfg, &w, &Policy::baseline(4)).unwrap();
+        let epochs = sim.run();
+        assert_eq!(epochs.len(), cfg.n_epochs);
+        for e in &epochs {
+            assert_eq!(e.ipcs.len(), 4);
+            assert!(e.throughput() > 0.0);
+            assert_eq!(e.reconfig_events, 0);
+        }
+        // Baseline = all shared.
+        assert_eq!(epochs[0].l3_grouping, "[0-3]");
+    }
+
+    #[test]
+    fn morph_run_reconfigures() {
+        let cfg = quick(4);
+        // A capacity-imbalanced workload: two heavy, two light.
+        let w = Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).unwrap();
+        let mut sim = SystemSim::new(cfg, &w, &Policy::morph(&cfg)).unwrap();
+        sim.run();
+        // Reconfigurations may land in the warm-up epoch, so check the
+        // engine's persistent log rather than the measured epochs.
+        assert!(
+            !sim.engine().unwrap().event_log().is_empty(),
+            "morph should reconfigure on imbalance"
+        );
+        // Inclusion always holds after reconfigurations.
+        sim.hierarchy().unwrap().check_inclusion().unwrap();
+    }
+
+    #[test]
+    fn topology_mismatch_rejected() {
+        let cfg = quick(4);
+        let w = Workload::named_apps(&["gcc", "gcc", "gcc", "gcc"]).unwrap();
+        let t16 = SymmetricTopology::new(4, 4, 1, 16).unwrap();
+        assert!(SystemSim::new(cfg, &w, &Policy::Static(t16)).is_err());
+    }
+
+    #[test]
+    fn pipp_and_dsr_backends_run() {
+        let cfg = quick(4);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        for p in [Policy::Pipp, Policy::Dsr] {
+            let mut sim = SystemSim::new(cfg, &w, &p).unwrap();
+            let epochs = sim.run();
+            assert!(epochs.iter().all(|e| e.throughput() > 0.0), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn ideal_offline_picks_candidates() {
+        let cfg = quick(4).with_epochs(3);
+        let w = Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).unwrap();
+        let cands = vec![
+            SymmetricTopology::new(4, 1, 1, 4).unwrap(),
+            SymmetricTopology::new(1, 1, 4, 4).unwrap(),
+            SymmetricTopology::new(2, 2, 1, 4).unwrap(),
+        ];
+        let mut sim = SystemSim::new(cfg, &w, &Policy::IdealOffline(cands)).unwrap();
+        let epochs = sim.run();
+        for e in &epochs {
+            assert!(e.chosen_topology.is_some());
+        }
+    }
+
+    #[test]
+    fn apply_groups_handles_arbitrary_transitions() {
+        let mut h = Hierarchy::new(morph_cache::HierarchyParams::scaled_down(8));
+        let t1 = SymmetricTopology::new(2, 2, 2, 8).unwrap();
+        apply_groups(&mut h, &t1.l2_groups(), &t1.l3_groups()).unwrap();
+        assert_eq!(h.l2().grouping().describe(), "[0-1][2-3][4-5][6-7]");
+        // Jump straight to a conflicting shape.
+        let t2 = SymmetricTopology::new(4, 1, 2, 8).unwrap();
+        apply_groups(&mut h, &t2.l2_groups(), &t2.l3_groups()).unwrap();
+        assert_eq!(h.l2().grouping().describe(), "[0-3][4-7]");
+        // And back to private.
+        let t3 = SymmetricTopology::new(1, 1, 8, 8).unwrap();
+        apply_groups(&mut h, &t3.l2_groups(), &t3.l3_groups()).unwrap();
+        assert_eq!(h.l3().grouping().describe(), "[0][1][2][3][4][5][6][7]");
+        h.check_inclusion().unwrap();
+    }
+
+    #[test]
+    fn span_factor_penalizes_sparse_groups() {
+        assert_eq!(span_factor(&[vec![0, 1], vec![2], vec![3]]), 1.0);
+        assert_eq!(span_factor(&[vec![0], vec![1], vec![2], vec![3]]), 1.0);
+        assert_eq!(span_factor(&[vec![0, 3], vec![1], vec![2]]), 2.0);
+        assert!((span_factor(&[vec![0, 1, 2], vec![3]]) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick(4).with_epochs(2);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let run = |_: u32| {
+            let mut sim = SystemSim::new(cfg, &w, &Policy::baseline(4)).unwrap();
+            sim.run().iter().map(|e| e.throughput()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(1));
+    }
+}

@@ -1,0 +1,145 @@
+//! Workload descriptions: what runs on each core.
+
+use crate::config::SystemConfig;
+use morph_trace::stream::{StreamConfig, SyntheticStream};
+use morph_trace::{mixes, parsec, spec, BenchmarkProfile, Mix};
+
+/// What the CMP runs: one single-threaded application per core
+/// (multiprogrammed) or one application with a thread per core
+/// (multithreaded).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// A Table 5 multiprogrammed mix (16 SPEC applications).
+    Mix(Mix),
+    /// An explicit list of single-threaded applications, one per core.
+    Apps(Vec<BenchmarkProfile>),
+    /// One multithreaded (PARSEC) application with `n_cores` threads.
+    Multithreaded(BenchmarkProfile),
+}
+
+impl Workload {
+    /// The Table 5 mix with the given 1-based id.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the id is outside `1..=12`.
+    pub fn mix(id: usize) -> Result<Self, String> {
+        mixes::mix(id).map(Workload::Mix).ok_or_else(|| format!("no MIX {id:02}"))
+    }
+
+    /// Single-threaded applications by name (SPEC names or Table 5
+    /// shorthands).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first unknown benchmark.
+    pub fn named_apps(names: &[&str]) -> Result<Self, String> {
+        let apps: Result<Vec<_>, String> = names
+            .iter()
+            .map(|n| spec::profile(n).ok_or_else(|| format!("unknown SPEC benchmark {n:?}")))
+            .collect();
+        Ok(Workload::Apps(apps?))
+    }
+
+    /// A 16-thread PARSEC application by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the name is unknown.
+    pub fn parsec(name: &str) -> Result<Self, String> {
+        parsec::profile(name)
+            .map(Workload::Multithreaded)
+            .ok_or_else(|| format!("unknown PARSEC benchmark {name:?}"))
+    }
+
+    /// A short human-readable name.
+    pub fn name(&self) -> String {
+        match self {
+            Workload::Mix(m) => m.name(),
+            Workload::Apps(apps) => format!("{} apps", apps.len()),
+            Workload::Multithreaded(p) => p.name.to_string(),
+        }
+    }
+
+    /// The profile assigned to core `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range for an application-list workload.
+    pub fn profile_of(&self, c: usize) -> BenchmarkProfile {
+        match self {
+            Workload::Mix(m) => m.benchmarks[c % m.benchmarks.len()],
+            Workload::Apps(apps) => apps[c % apps.len()],
+            Workload::Multithreaded(p) => *p,
+        }
+    }
+
+    /// Address-space (application) ids per core: distinct for
+    /// multiprogrammed cores, all equal for a multithreaded application.
+    pub fn app_ids(&self, n_cores: usize) -> Vec<usize> {
+        match self {
+            Workload::Multithreaded(_) => vec![0; n_cores],
+            _ => (0..n_cores).collect(),
+        }
+    }
+
+    /// Builds the per-core streams, calibrated to the configured slice
+    /// geometry.
+    pub fn streams(&self, cfg: &SystemConfig) -> Vec<SyntheticStream> {
+        let n = cfg.n_cores();
+        (0..n)
+            .map(|c| {
+                let profile = self.profile_of(c);
+                let sc = match self {
+                    Workload::Multithreaded(_) => StreamConfig::thread_of(0, c, n, cfg.seed),
+                    _ => StreamConfig::single_threaded(c, cfg.seed),
+                }
+                .with_slice_lines(cfg.l2_slice_lines() as u64, cfg.l3_slice_lines() as u64);
+                SyntheticStream::new(profile, sc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morph_trace::stream::AccessStream;
+
+    #[test]
+    fn mix_workload_resolves() {
+        let w = Workload::mix(1).unwrap();
+        assert_eq!(w.name(), "MIX 01");
+        assert!(Workload::mix(0).is_err());
+        let cfg = SystemConfig::quick_test(16);
+        let streams = w.streams(&cfg);
+        assert_eq!(streams.len(), 16);
+        assert_eq!(w.app_ids(16), (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn named_apps_validate() {
+        assert!(Workload::named_apps(&["gcc", "nonsense"]).is_err());
+        let w = Workload::named_apps(&["gcc", "libq"]).unwrap();
+        assert_eq!(w.profile_of(1).name, "libquantum");
+    }
+
+    #[test]
+    fn multithreaded_shares_address_space() {
+        let w = Workload::parsec("dedup").unwrap();
+        assert_eq!(w.app_ids(8), vec![0; 8]);
+        let cfg = SystemConfig::quick_test(4);
+        let mut streams = w.streams(&cfg);
+        // All threads draw from the same application space (top bits).
+        let tops: std::collections::HashSet<u64> = streams
+            .iter_mut()
+            .map(|s| s.next_access().line >> 40)
+            .collect();
+        assert_eq!(tops.len(), 1);
+    }
+
+    #[test]
+    fn unknown_parsec_rejected() {
+        assert!(Workload::parsec("doom").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Benchmark characterization profiles (the rows of Table 4).
+
+/// Which benchmark suite a profile belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2006 (single-threaded; used in multiprogrammed mixes).
+    Spec,
+    /// PARSEC (multithreaded, 16 threads per application).
+    Parsec,
+}
+
+/// The published characterization of one benchmark (paper Table 4), plus
+/// the synthetic-stream parameters derived from it.
+///
+/// `l2_acf`/`l3_acf` are the average Active Cache Footprints as a fraction
+/// of a 256 KB L2 / 1 MB L3 slice ("a value of 1.0 represents 100% cache
+/// slice utilization"). `σ_t` is the standard deviation of per-epoch ACFs
+/// over time; `σ_s` (PARSEC only) the standard deviation across threads
+/// within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Canonical benchmark name (e.g. `"hmmer"`, `"freqmine"`).
+    pub name: &'static str,
+    /// Suite the benchmark comes from.
+    pub suite: Suite,
+    /// The paper's ACF class (0–3), shown in parentheses in Table 4 for
+    /// SPEC benchmarks; `None` for PARSEC.
+    pub class: Option<u8>,
+    /// Mean L2 ACF (fraction of one L2 slice).
+    pub l2_acf: f64,
+    /// Temporal σ of the L2 ACF.
+    pub l2_sigma_t: f64,
+    /// Spatial σ of the L2 ACF across threads (PARSEC only, else 0).
+    pub l2_sigma_s: f64,
+    /// Mean L3 ACF (fraction of one L3 slice).
+    pub l3_acf: f64,
+    /// Temporal σ of the L3 ACF.
+    pub l3_sigma_t: f64,
+    /// Spatial σ of the L3 ACF across threads (PARSEC only, else 0).
+    pub l3_sigma_s: f64,
+    /// Fraction of the footprint shared between threads (PARSEC only;
+    /// derived from published sharing characterizations of the suite, not
+    /// from Table 4 — see DESIGN.md).
+    pub sharing: f64,
+    /// Fraction of instructions that access memory (model parameter).
+    pub mem_ratio: f64,
+    /// Memory-streaming benchmark: its L3-level region is a huge
+    /// LRU-hostile cyclic walk (`C/acf` lines) rather than a small
+    /// resident set. The classic bandwidth-bound SPEC 2006 codes (lbm,
+    /// libquantum, GemsFDTD, bwaves, leslie3d, zeusmp) stream gigabytes;
+    /// their low published L3 ACF is the *active fraction* of a footprint
+    /// far larger than the slice, and their pollution is what makes fully
+    /// shared caches lose on mixed workloads.
+    pub streamer: bool,
+}
+
+impl BenchmarkProfile {
+    /// Whether this is a multithreaded (PARSEC) profile.
+    pub fn is_multithreaded(&self) -> bool {
+        self.suite == Suite::Parsec
+    }
+
+    /// A coarse "is this benchmark's L2 footprint high" predicate using the
+    /// paper's class semantics (classes are assigned "based on whether
+    /// their L2 and L3 ACFs were low or high").
+    pub fn l2_high(&self) -> bool {
+        self.l2_acf >= 0.5
+    }
+
+    /// See [`BenchmarkProfile::l2_high`].
+    pub fn l3_high(&self) -> bool {
+        self.l3_acf >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_low_predicates() {
+        let p = BenchmarkProfile {
+            name: "x",
+            suite: Suite::Spec,
+            class: Some(0),
+            l2_acf: 0.3,
+            l2_sigma_t: 0.1,
+            l2_sigma_s: 0.0,
+            l3_acf: 0.7,
+            l3_sigma_t: 0.1,
+            l3_sigma_s: 0.0,
+            sharing: 0.0,
+            mem_ratio: 0.3,
+            streamer: false,
+        };
+        assert!(!p.l2_high());
+        assert!(p.l3_high());
+        assert!(!p.is_multithreaded());
+    }
+}

@@ -1,0 +1,55 @@
+//! Run a Table 5 multiprogrammed mix under every policy of the paper's
+//! evaluation and print the comparison (a one-mix slice of Fig. 13 + 17).
+//!
+//! Usage: `cargo run --release --example multiprogrammed_mix [mix-id]`
+
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    let mix_id: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2);
+    let mut cfg = SystemConfig::paper(16);
+    cfg.n_epochs = 6;
+    cfg.epoch_cycles = 1_500_000;
+    let mix = Workload::mix(mix_id).expect("mix id must be 1..=12");
+    println!("{}: {}", mix.name(), match &mix {
+        Workload::Mix(m) => m
+            .benchmarks
+            .iter()
+            .map(|b| b.name)
+            .collect::<Vec<_>>()
+            .join(", "),
+        _ => unreachable!(),
+    });
+
+    let jobs = vec![
+        (mix.clone(), Policy::baseline(16)),
+        (mix.clone(), Policy::static_topology("1:1:16", 16)),
+        (mix.clone(), Policy::static_topology("4:4:1", 16)),
+        (mix.clone(), Policy::morph(&cfg)),
+        (mix.clone(), Policy::Pipp),
+        (mix.clone(), Policy::Dsr),
+    ];
+    let results = run_matrix(&cfg, &jobs);
+    let base = results[0].mean_throughput();
+    for r in &results {
+        println!(
+            "  {:<12} throughput {:.3}  ({:.3}x baseline)",
+            r.policy_name,
+            r.mean_throughput(),
+            r.mean_throughput() / base
+        );
+    }
+    let morph = &results[3];
+    println!(
+        "MorphCache performed {} reconfigurations; {:.0}% left an asymmetric configuration",
+        morph.total_reconfigs(),
+        morph.asymmetric_fraction() * 100.0
+    );
+    if let Some(last) = morph.epochs.last() {
+        println!("final topology: L2 {}  L3 {}", last.l2_grouping, last.l3_grouping);
+    }
+}

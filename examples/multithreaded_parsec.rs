@@ -1,0 +1,44 @@
+//! Run a 16-thread PARSEC application under the static topologies and
+//! MorphCache (a one-application slice of Fig. 16), showing how data
+//! sharing drives slice merging.
+//!
+//! Usage: `cargo run --release --example multithreaded_parsec [app]`
+
+use morph_system::experiment::run_matrix;
+use morph_system::prelude::*;
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "dedup".into());
+    let mut cfg = SystemConfig::paper(16);
+    cfg.n_epochs = 6;
+    cfg.epoch_cycles = 1_500_000;
+    let wl = Workload::parsec(&app).expect("known PARSEC benchmark");
+    println!("{app}: 16 threads, shared address space");
+
+    let jobs = vec![
+        (wl.clone(), Policy::baseline(16)),
+        (wl.clone(), Policy::static_topology("1:1:16", 16)),
+        (wl.clone(), Policy::static_topology("4:4:1", 16)),
+        (wl.clone(), Policy::static_topology("1:16:1", 16)),
+        (wl.clone(), Policy::morph(&cfg)),
+    ];
+    let results = run_matrix(&cfg, &jobs);
+    let base = results[0].mean_throughput();
+    for r in &results {
+        println!(
+            "  {:<12} performance {:.3}  ({:.3}x all-shared)",
+            r.policy_name,
+            r.mean_throughput(),
+            r.mean_throughput() / base
+        );
+    }
+    let morph = results.last().expect("morph ran");
+    if let Some(last) = morph.epochs.last() {
+        println!(
+            "MorphCache settled on: L2 {}  L3 {} ({} reconfigurations)",
+            last.l2_grouping,
+            last.l3_grouping,
+            morph.total_reconfigs()
+        );
+    }
+}

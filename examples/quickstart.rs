@@ -1,0 +1,24 @@
+//! Quickstart: run MIX 01 under the baseline shared topology and under
+//! MorphCache, and print the throughput comparison.
+
+use morph_system::prelude::*;
+
+fn main() {
+    let mut cfg = SystemConfig::paper(16).with_epochs(6);
+    cfg.epoch_cycles = 1_500_000; // keep the demo under a couple of minutes
+    let mix = Workload::mix(1).expect("MIX 01 exists");
+
+    let base = run_workload(&cfg, &mix, &Policy::baseline(16));
+    let morph = run_workload(&cfg, &mix, &Policy::morph(&cfg));
+
+    println!("workload: {}", mix.name());
+    println!("  {:<12} throughput {:.3}", base.policy_name, base.mean_throughput());
+    println!(
+        "  {:<12} throughput {:.3}  ({:+.1}% vs baseline, {} reconfigs, {:.0}% asymmetric)",
+        morph.policy_name,
+        morph.mean_throughput(),
+        (morph.mean_throughput() / base.mean_throughput() - 1.0) * 100.0,
+        morph.total_reconfigs(),
+        morph.asymmetric_fraction() * 100.0
+    );
+}

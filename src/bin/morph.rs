@@ -1,0 +1,180 @@
+//! `morph` — command-line experiment runner for the MorphCache
+//! reproduction.
+//!
+//! ```text
+//! morph list                                   # workloads and policies
+//! morph run --mix 3 --policy morph --epochs 8  # one multiprogrammed run
+//! morph run --parsec dedup --policy 4:4:1      # one multithreaded run
+//! morph compare --mix 5                        # all policies on one mix
+//! ```
+
+use morph_system::experiment::{run_matrix, run_workload};
+use morph_system::prelude::*;
+use morph_trace::{mixes, parsec, spec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => {
+            eprintln!("usage: morph <list|run|compare> [options]");
+            eprintln!("  morph list");
+            eprintln!("  morph run --mix <1..12> | --parsec <name> | --apps a,b,c,...");
+            eprintln!("            [--policy <x:y:z|morph|morph-qos|pipp|dsr|ideal>]");
+            eprintln!("            [--epochs N] [--cycles N] [--seed N] [--cores N]");
+            eprintln!("  morph compare --mix <1..12> | --parsec <name> [--epochs N] [--cycles N]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_list() -> i32 {
+    println!("multiprogrammed mixes (Table 5):");
+    for m in mixes::all_mixes() {
+        let names: Vec<&str> = m.benchmarks.iter().map(|b| b.name).collect();
+        println!("  {}  {:?}  {}", m.name(), m.composition, names.join(","));
+    }
+    println!("\nSPEC CPU 2006 benchmarks (Table 4):");
+    let names: Vec<&str> = spec::SPEC_PROFILES.iter().map(|p| p.name).collect();
+    println!("  {}", names.join(", "));
+    println!("\nPARSEC benchmarks (Table 4):");
+    let names: Vec<&str> = parsec::PARSEC_PROFILES.iter().map(|p| p.name).collect();
+    println!("  {}", names.join(", "));
+    println!("\npolicies: <x:y:z> (e.g. 16:1:1, 4:4:1), morph, morph-qos, pipp, dsr, ideal");
+    0
+}
+
+struct Opts {
+    workload: Option<Workload>,
+    policy: String,
+    epochs: usize,
+    cycles: u64,
+    seed: u64,
+    cores: usize,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        workload: None,
+        policy: "morph".into(),
+        epochs: 6,
+        cycles: 1_500_000,
+        seed: 0xC0FFEE,
+        cores: 16,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--mix" => {
+                let id: usize = val("--mix")?.parse().map_err(|e| format!("--mix: {e}"))?;
+                o.workload = Some(Workload::mix(id)?);
+            }
+            "--parsec" => o.workload = Some(Workload::parsec(&val("--parsec")?)?),
+            "--apps" => {
+                let list = val("--apps")?;
+                let names: Vec<&str> = list.split(',').collect();
+                o.workload = Some(Workload::named_apps(&names)?);
+            }
+            "--policy" => o.policy = val("--policy")?,
+            "--epochs" => o.epochs = val("--epochs")?.parse().map_err(|e| format!("{e}"))?,
+            "--cycles" => o.cycles = val("--cycles")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--cores" => o.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if o.workload.is_none() {
+        return Err("one of --mix / --parsec / --apps is required".into());
+    }
+    Ok(o)
+}
+
+fn config(o: &Opts) -> SystemConfig {
+    let mut cfg = SystemConfig::paper(o.cores).with_seed(o.seed).with_epochs(o.epochs);
+    cfg.epoch_cycles = o.cycles;
+    cfg
+}
+
+fn policy(name: &str, cfg: &SystemConfig) -> Result<Policy, String> {
+    Ok(match name {
+        "morph" => Policy::morph(cfg),
+        "morph-qos" => Policy::morph_qos(cfg),
+        "pipp" => Policy::Pipp,
+        "dsr" => Policy::Dsr,
+        "ideal" => Policy::ideal_paper_set(),
+        topo => Policy::Static(SymmetricTopology::parse(topo, cfg.n_cores())?),
+    })
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let o = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let cfg = config(&o);
+    let p = match policy(&o.policy, &cfg) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let w = o.workload.expect("validated");
+    let r = run_workload(&cfg, &w, &p);
+    println!("{} under {}:", r.workload_name, r.policy_name);
+    for e in &r.epochs {
+        println!(
+            "  epoch {:>2}: throughput {:.3}  events {}  L2 {}  L3 {}",
+            e.epoch,
+            e.throughput(),
+            e.reconfig_events,
+            e.l2_grouping,
+            e.l3_grouping
+        );
+    }
+    println!(
+        "mean throughput {:.3}; {} reconfigurations, {:.0}% asymmetric",
+        r.mean_throughput(),
+        r.total_reconfigs(),
+        r.asymmetric_fraction() * 100.0
+    );
+    0
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let o = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let cfg = config(&o);
+    let w = o.workload.expect("validated");
+    let names = ["16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr"];
+    let jobs: Vec<(Workload, Policy)> = names
+        .iter()
+        .map(|n| (w.clone(), policy(n, &cfg).expect("builtin policy")))
+        .collect();
+    let results = run_matrix(&cfg, &jobs);
+    let base = results[0].mean_throughput();
+    println!("{}:", w.name());
+    for r in &results {
+        println!(
+            "  {:<12} throughput {:.3}  ({:.3}x baseline)",
+            r.policy_name,
+            r.mean_throughput(),
+            r.mean_throughput() / base
+        );
+    }
+    0
+}

@@ -1,0 +1,180 @@
+//! Property-based tests (proptest) on the core data structures and their
+//! invariants.
+
+use morph_cache::{CacheParams, Grouping, Hierarchy, HierarchyParams, NoopSink, TreePlru};
+use morphcache::topology::{covering_pow2_span, is_partition, meet, refines};
+use morphcache::{Acfv, CacheLevelId, ExactFootprint, HashKind, MorphConfig, MorphEngine};
+use proptest::prelude::*;
+
+/// Strategy: a buddy-aligned partition of 8 slices, as a cut of the buddy
+/// tree chosen by a recursion depth per subtree.
+fn buddy_partition() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(0u8..=3, 8).prop_map(|depths| {
+        // Interpret depths greedily: starting at 0, take the largest
+        // aligned power-of-two block allowed by depths[start].
+        let mut groups = Vec::new();
+        let mut start = 0usize;
+        while start < 8 {
+            let max_align = 1usize << start.trailing_zeros().min(3);
+            let want = 1usize << depths[start].min(3);
+            let size = want.min(max_align).min(8 - start);
+            let size = size.next_power_of_two().min(max_align);
+            let size = if start + size <= 8 { size } else { 1 };
+            groups.push((start..start + size).collect());
+            start += size;
+        }
+        groups
+    })
+}
+
+proptest! {
+    #[test]
+    fn acfv_popcount_bounded_and_reset_empties(
+        tags in proptest::collection::vec(any::<u64>(), 0..200),
+        bits in prop_oneof![Just(8usize), Just(32), Just(128)],
+    ) {
+        let mut v = Acfv::new(bits, HashKind::Xor);
+        let mut oracle = ExactFootprint::new();
+        for &t in &tags {
+            v.record_insert(t);
+            oracle.record_insert(t);
+        }
+        // A hashed vector never reports more than the true distinct count
+        // nor more than its length.
+        prop_assert!(v.popcount() <= oracle.len().min(bits));
+        // Overlap with itself is the popcount.
+        prop_assert_eq!(v.overlap(&v.clone()), v.popcount());
+        v.reset();
+        prop_assert!(v.is_empty());
+    }
+
+    #[test]
+    fn acfv_insert_then_evict_everything_leaves_empty(
+        tags in proptest::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut v = Acfv::new(64, HashKind::Mix);
+        for &t in &tags {
+            v.record_insert(t);
+        }
+        for &t in &tags {
+            v.record_evict(t);
+        }
+        prop_assert!(v.is_empty());
+    }
+
+    #[test]
+    fn plru_victim_never_most_recent(ways_log in 1u32..5, touches in proptest::collection::vec(any::<u16>(), 1..50)) {
+        let ways = 1usize << ways_log;
+        let mut t = TreePlru::new(ways);
+        for &w in &touches {
+            let w = (w as usize) % ways;
+            t.touch(w);
+            prop_assert_ne!(t.victim(), w);
+        }
+    }
+
+    #[test]
+    fn plru_merge_split_round_trips(
+        a_touches in proptest::collection::vec(any::<u8>(), 0..20),
+        b_touches in proptest::collection::vec(any::<u8>(), 0..20),
+    ) {
+        let mut a = TreePlru::new(8);
+        let mut b = TreePlru::new(8);
+        for &w in &a_touches { a.touch((w % 8) as usize); }
+        for &w in &b_touches { b.touch((w % 8) as usize); }
+        let merged = TreePlru::merge(&a, &b);
+        let (a2, b2) = merged.split();
+        prop_assert_eq!(a, a2);
+        prop_assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn grouping_merge_preserves_partition(
+        seq in proptest::collection::vec((0usize..8, 0usize..8), 0..10),
+    ) {
+        let mut g = Grouping::private(8);
+        for (a, b) in seq {
+            let _ = g.merge_pair(a, b); // may legitimately fail; partition must hold anyway
+            let groups: Vec<Vec<usize>> = g.iter().map(|m| m.to_vec()).collect();
+            prop_assert!(is_partition(&groups, 8));
+        }
+    }
+
+    #[test]
+    fn meet_refines_both_operands(a in buddy_partition(), b in buddy_partition()) {
+        prop_assert!(is_partition(&a, 8));
+        prop_assert!(is_partition(&b, 8));
+        let m = meet(&a, &b);
+        prop_assert!(is_partition(&m, 8));
+        prop_assert!(refines(&m, &a));
+        prop_assert!(refines(&m, &b));
+    }
+
+    #[test]
+    fn covering_span_is_pow2_and_covers(members in proptest::collection::btree_set(0usize..16, 1..8)) {
+        let group: Vec<usize> = members.into_iter().collect();
+        let span = covering_pow2_span(&group);
+        prop_assert!(span.is_power_of_two());
+        let lo = *group.iter().min().unwrap();
+        let hi = *group.iter().max().unwrap();
+        prop_assert!(span >= hi - lo + 1);
+        prop_assert!(span < 2 * (hi - lo + 1).max(1));
+    }
+
+    #[test]
+    fn engine_outputs_are_always_safe(
+        fills in proptest::collection::vec((0usize..4, 0u8..120), 0..40),
+        rounds in 1usize..4,
+    ) {
+        let mut e = MorphEngine::new(4, (0..4).collect(), MorphConfig::calibrated(128, 128));
+        for r in 0..rounds {
+            for &(slice, n) in &fills {
+                for i in 0..n as u64 {
+                    e.on_touched(CacheLevelId::L2, slice, slice, i * 8191 + r as u64);
+                    e.on_touched(CacheLevelId::L3, slice, slice, i * 6367 + r as u64);
+                }
+            }
+            let out = e.reconfigure(r as u64);
+            prop_assert!(is_partition(&out.l2_groups, 4));
+            prop_assert!(is_partition(&out.l3_groups, 4));
+            prop_assert!(refines(&out.l2_groups, &out.l3_groups));
+        }
+    }
+
+    #[test]
+    fn hierarchy_inclusion_under_random_traffic_and_groupings(
+        accesses in proptest::collection::vec((0usize..4, 0u64..2048, any::<bool>()), 1..300),
+        shape in buddy_partition(),
+    ) {
+        let mut h = Hierarchy::new(HierarchyParams::scaled_down(4));
+        // Project the 8-slice shape onto 4 slices.
+        let groups: Vec<Vec<usize>> = shape
+            .into_iter()
+            .filter_map(|g| {
+                let g: Vec<usize> = g.into_iter().filter(|&s| s < 4).collect();
+                if g.is_empty() { None } else { Some(g) }
+            })
+            .collect();
+        if is_partition(&groups, 4) {
+            let g3 = Grouping::from_groups(4, groups.clone()).unwrap();
+            let g2 = Grouping::from_groups(4, groups).unwrap();
+            h.set_l3_grouping(g3).unwrap();
+            h.set_l2_grouping(g2).unwrap();
+        }
+        let mut sink = NoopSink;
+        for (core, line, w) in accesses {
+            h.access(core, line, w, &mut sink);
+        }
+        prop_assert!(h.check_inclusion().is_ok());
+    }
+
+    #[test]
+    fn cache_params_mapping_is_total(addr in any::<u64>()) {
+        let p = CacheParams::new(512, 8, 64).unwrap();
+        let line = p.line_of_addr(addr);
+        prop_assert!(p.set_index(line) < 512);
+        // tag/set decomposition is invertible.
+        let rebuilt = (p.tag(line) << 9) | p.set_index(line) as u64;
+        prop_assert_eq!(rebuilt, line);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end system tests: full policy runs on the public API, checking
+//! the invariants the paper's evaluation relies on.
+
+use morph_system::experiment::{run_matrix, run_workload};
+use morph_system::prelude::*;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::quick_test(8).with_epochs(4)
+}
+
+fn mixed_workload() -> Workload {
+    Workload::named_apps(&["cactus", "libq", "gobmk", "perl", "wrf", "gamess", "gcc", "lbm"])
+        .expect("known benchmarks")
+}
+
+#[test]
+fn every_policy_completes_and_reports() {
+    let cfg = cfg();
+    let w = mixed_workload();
+    let policies = vec![
+        Policy::baseline(8),
+        Policy::static_topology("1:1:8", 8),
+        Policy::static_topology("2:2:2", 8),
+        Policy::morph(&cfg),
+        Policy::morph_qos(&cfg),
+        Policy::Pipp,
+        Policy::Dsr,
+    ];
+    for p in policies {
+        let r = run_workload(&cfg, &w, &p);
+        assert_eq!(r.epochs.len(), cfg.n_epochs, "{}", r.policy_name);
+        assert!(r.mean_throughput() > 0.0, "{}", r.policy_name);
+        assert!(
+            r.mean_ipcs().iter().all(|&i| i > 0.0),
+            "{}: every app must make progress",
+            r.policy_name
+        );
+    }
+}
+
+#[test]
+fn morph_groupings_always_valid_partitions() {
+    let cfg = cfg();
+    let r = run_workload(&cfg, &mixed_workload(), &Policy::morph(&cfg));
+    for e in &r.epochs {
+        // Every slice id appears exactly once in the canonical description.
+        for level in [&e.l2_grouping, &e.l3_grouping] {
+            let mut seen = vec![false; 8];
+            for part in level.trim_matches(['[', ']']).split("][") {
+                if let Some((a, b)) = part.split_once('-') {
+                    let (a, b): (usize, usize) =
+                        (a.parse().unwrap(), b.parse().unwrap());
+                    for s in a..=b {
+                        assert!(!seen[s], "slice {s} twice in {level}");
+                        seen[s] = true;
+                    }
+                } else {
+                    for sstr in part.split(',') {
+                        let s: usize = sstr.parse().unwrap();
+                        assert!(!seen[s], "slice {s} twice in {level}");
+                        seen[s] = true;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "not a partition: {level}");
+        }
+    }
+}
+
+#[test]
+fn runs_are_reproducible() {
+    let cfg = cfg();
+    let w = mixed_workload();
+    let a = run_workload(&cfg, &w, &Policy::morph(&cfg));
+    let b = run_workload(&cfg, &w, &Policy::morph(&cfg));
+    assert_eq!(a.throughput_series(), b.throughput_series());
+    assert_eq!(a.total_reconfigs(), b.total_reconfigs());
+}
+
+#[test]
+fn seeds_change_results() {
+    let cfg = cfg();
+    let w = mixed_workload();
+    let a = run_workload(&cfg, &w, &Policy::baseline(8));
+    let b = run_workload(&cfg.with_seed(999), &w, &Policy::baseline(8));
+    assert_ne!(a.throughput_series(), b.throughput_series());
+}
+
+#[test]
+fn matrix_runner_matches_serial_runner() {
+    let cfg = cfg();
+    let w = mixed_workload();
+    let jobs = vec![(w.clone(), Policy::baseline(8)), (w.clone(), Policy::Dsr)];
+    let par = run_matrix(&cfg, &jobs);
+    assert_eq!(
+        par[0].mean_throughput(),
+        run_workload(&cfg, &w, &Policy::baseline(8)).mean_throughput()
+    );
+    assert_eq!(
+        par[1].mean_throughput(),
+        run_workload(&cfg, &w, &Policy::Dsr).mean_throughput()
+    );
+}
+
+#[test]
+fn multithreaded_workload_runs_under_morph() {
+    let cfg = cfg();
+    let w = Workload::parsec("dedup").expect("dedup profile");
+    let r = run_workload(&cfg, &w, &Policy::morph(&cfg));
+    assert!(r.mean_throughput() > 0.0);
+    // Threads share an address space, so sharing-driven merges are legal;
+    // whatever happened, groupings stayed canonical.
+    assert!(r.epochs.iter().all(|e| !e.l2_grouping.is_empty()));
+}
+
+#[test]
+fn ideal_offline_at_least_matches_its_worst_candidate() {
+    let mut cfg = cfg();
+    cfg.n_epochs = 3;
+    let w = mixed_workload();
+    let cands = vec![
+        SymmetricTopology::new(8, 1, 1, 8).unwrap(),
+        SymmetricTopology::new(1, 1, 8, 8).unwrap(),
+    ];
+    let jobs = vec![
+        (w.clone(), Policy::Static(cands[0])),
+        (w.clone(), Policy::Static(cands[1])),
+        (w.clone(), Policy::IdealOffline(cands.clone())),
+    ];
+    let r = run_matrix(&cfg, &jobs);
+    let worst = r[0].mean_throughput().min(r[1].mean_throughput());
+    assert!(
+        r[2].mean_throughput() >= worst * 0.95,
+        "ideal {} vs worst candidate {}",
+        r[2].mean_throughput(),
+        worst
+    );
+}
