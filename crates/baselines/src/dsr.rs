@@ -17,8 +17,10 @@
 //! other.
 
 use morph_cache::slice::Entry;
-use morph_cache::{CacheEventSink, CacheParams, CoreId, LatencyParams, Line, MemorySubsystem,
-    ReplacementKind, Slice};
+use morph_cache::{
+    CacheEventSink, CacheParams, CoreId, LatencyParams, Line, MemorySubsystem, ReplacementKind,
+    Slice,
+};
 
 /// The learned role of a private slice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +55,9 @@ impl DsrLevel {
     fn new(n: usize, params: CacheParams) -> Self {
         Self {
             params,
-            slices: (0..n).map(|_| Slice::new(params, ReplacementKind::Lru)).collect(),
+            slices: (0..n)
+                .map(|_| Slice::new(params, ReplacementKind::Lru))
+                .collect(),
             psel: vec![0; n],
             rr: 0,
             stamp: 0,
@@ -124,7 +128,12 @@ impl DsrLevel {
         let displaced = self.slices[core].install(
             set,
             way,
-            Entry { line, owner: core, stamp: self.stamp, dirty: false },
+            Entry {
+                line,
+                owner: core,
+                stamp: self.stamp,
+                dirty: false,
+            },
         );
         let mut gone = Vec::new();
         if let Some(victim) = displaced {
@@ -193,7 +202,9 @@ impl DsrSystem {
     ) -> Self {
         Self {
             n_cores,
-            l1: (0..n_cores).map(|_| Slice::new(l1, ReplacementKind::Lru)).collect(),
+            l1: (0..n_cores)
+                .map(|_| Slice::new(l1, ReplacementKind::Lru))
+                .collect(),
             l1_params: l1,
             l2: DsrLevel::new(n_cores, l2_slice),
             l3: DsrLevel::new(n_cores, l3_slice),
@@ -223,7 +234,12 @@ impl DsrSystem {
         self.l1[core].install(
             set,
             way,
-            Entry { line, owner: core, stamp: self.stamp, dirty: false },
+            Entry {
+                line,
+                owner: core,
+                stamp: self.stamp,
+                dirty: false,
+            },
         );
     }
 }
@@ -245,14 +261,22 @@ impl MemorySubsystem for DsrSystem {
         }
         let (l2_hit, l2_remote) = self.l2.lookup(core, line);
         if l2_hit {
-            cycles += if l2_remote { self.latency.l2_merged } else { self.latency.l2_local };
+            cycles += if l2_remote {
+                self.latency.l2_merged
+            } else {
+                self.latency.l2_local
+            };
             self.fill_l1(core, line);
             return cycles;
         }
         cycles += self.latency.l2_local;
         let (l3_hit, l3_remote) = self.l3.lookup(core, line);
         if l3_hit {
-            cycles += if l3_remote { self.latency.l3_merged } else { self.latency.l3_local };
+            cycles += if l3_remote {
+                self.latency.l3_merged
+            } else {
+                self.latency.l3_local
+            };
         } else {
             cycles += self.latency.l3_local + self.latency.memory;
             self.l3_misses_by_core[core] += 1;
@@ -298,7 +322,10 @@ mod tests {
         let mut sys = system(2);
         let mut sink = NoopSink;
         let p = LatencyParams::paper();
-        assert_eq!(sys.access(0, 0x42, false, &mut sink), p.l1 + p.l2_local + p.l3_local + p.memory);
+        assert_eq!(
+            sys.access(0, 0x42, false, &mut sink),
+            p.l1 + p.l2_local + p.l3_local + p.memory
+        );
         assert_eq!(sys.access(0, 0x42, false, &mut sink), p.l1);
     }
 
@@ -344,7 +371,7 @@ mod tests {
         let mut sink = NoopSink;
         // Make core 0's L2 a spiller by missing in its never-spill sets.
         for i in 0..200u64 {
-            sys.access(0, (1 + i * 64) << 0, false, &mut sink);
+            sys.access(0, 1 + i * 64, false, &mut sink);
         }
         // Core 1 idle -> receiver by default (psel 0).
         assert_eq!(sys.l2_role(1), SpillRole::Receiver);
@@ -353,7 +380,10 @@ mod tests {
         for i in 0..100u64 {
             sys.access(0, 5 + i * 64, false, &mut sink);
         }
-        assert!(sys.l2_spills() > spills_before, "follower sets should spill");
+        assert!(
+            sys.l2_spills() > spills_before,
+            "follower sets should spill"
+        );
     }
 
     #[test]

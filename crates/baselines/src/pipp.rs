@@ -18,11 +18,12 @@
 //! scheme is "topology-unaware": both levels are all-shared, which is
 //! what MorphCache beats on mixes with high footprint variation.
 
-use morph_cache::{CacheEventSink, CacheParams, CoreId, Level, LatencyParams, Line,
-    MemorySubsystem, ReplacementKind, Slice};
 use morph_cache::slice::Entry;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use morph_cache::{
+    CacheEventSink, CacheParams, CoreId, LatencyParams, Level, Line, MemorySubsystem,
+    ReplacementKind, Slice,
+};
+use morphcache::Xoshiro256pp;
 
 /// Promotion probability numerator over 256 (`3/4` as in the PIPP paper).
 const PROM_P256: u32 = 192;
@@ -159,7 +160,9 @@ impl PippCache {
             block_mask_sets: n_sets - 1,
             sets: vec![Vec::new(); n_sets],
             alloc: vec![(ways / n_cores).max(1); n_cores],
-            umons: (0..n_cores).map(|_| UtilityMonitor::new(sampled, ways)).collect(),
+            umons: (0..n_cores)
+                .map(|_| UtilityMonitor::new(sampled, ways))
+                .collect(),
             accesses: 0,
             misses: 0,
             misses_by_core: vec![0; n_cores],
@@ -172,10 +175,10 @@ impl PippCache {
 
     /// Looks up `line`; on a hit, applies the single-step promotion with
     /// probability 3/4. Returns whether it hit.
-    fn access(&mut self, core: CoreId, line: Line, rng: &mut StdRng) -> bool {
+    fn access(&mut self, core: CoreId, line: Line, rng: &mut Xoshiro256pp) -> bool {
         self.accesses += 1;
         let s = self.set_index(line);
-        if s % UMON_SAMPLING == 0 {
+        if s.is_multiple_of(UMON_SAMPLING) {
             self.umons[core].access(s / UMON_SAMPLING, line);
         }
         let set = &mut self.sets[s];
@@ -184,7 +187,7 @@ impl PippCache {
             // paper's single-step promotion assumes a 16-way cache, so a
             // 128-way aggregated stack promotes by ways/16 positions to
             // preserve the same relative movement.
-            if rng.gen_range(0..256u32) < PROM_P256 {
+            if rng.range_u32(0, 256) < PROM_P256 {
                 let step = (self.ways / 16).max(1);
                 let new_pos = (pos + step).min(set.len() - 1);
                 let entry = set.remove(pos);
@@ -210,7 +213,11 @@ impl PippCache {
     fn insert(&mut self, core: CoreId, line: Line) -> Option<(Line, CoreId)> {
         let s = self.set_index(line);
         let set = &mut self.sets[s];
-        let evicted = if set.len() == self.ways { Some(set.remove(0)) } else { None };
+        let evicted = if set.len() == self.ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
         let pos = self.alloc[core].min(set.len());
         set.insert(pos, (line, core));
         evicted
@@ -245,7 +252,7 @@ pub struct PippSystem {
     l2: PippCache,
     l3: PippCache,
     latency: LatencyParams,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     stamp: u64,
     /// Per-core miss counts at the L3 (for reporting).
     pub l3_misses_by_core: Vec<u64>,
@@ -266,12 +273,14 @@ impl PippSystem {
         let latency = latency.paper_static();
         Self {
             n_cores,
-            l1: (0..n_cores).map(|_| Slice::new(l1, ReplacementKind::Lru)).collect(),
+            l1: (0..n_cores)
+                .map(|_| Slice::new(l1, ReplacementKind::Lru))
+                .collect(),
             l1_params: l1,
             l2: PippCache::new(l2_slice.sets(), l2_slice.ways() * n_cores, n_cores),
             l3: PippCache::new(l3_slice.sets(), l3_slice.ways() * n_cores, n_cores),
             latency,
-            rng: StdRng::seed_from_u64(0x9e3779b97f4a7c15),
+            rng: Xoshiro256pp::seed_from_u64(0x9e3779b97f4a7c15),
             stamp: 0,
             l3_misses_by_core: vec![0; n_cores],
         }
@@ -301,7 +310,12 @@ impl PippSystem {
         self.l1[core].install(
             set,
             way,
-            Entry { line, owner: core, stamp: self.stamp, dirty: false },
+            Entry {
+                line,
+                owner: core,
+                stamp: self.stamp,
+                dirty: false,
+            },
         );
     }
 }
@@ -484,7 +498,10 @@ mod tests {
         }
         sys.epoch_boundary();
         let alloc = sys.l2_allocations();
-        assert!(alloc[0] > alloc[1], "reuse-heavy core should win ways: {alloc:?}");
+        assert!(
+            alloc[0] > alloc[1],
+            "reuse-heavy core should win ways: {alloc:?}"
+        );
     }
 
     #[test]

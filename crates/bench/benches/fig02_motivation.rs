@@ -18,7 +18,7 @@ fn main() {
         .iter()
         .map(|t| (mix.clone(), Policy::static_topology(t, 16)))
         .collect();
-    let results = run_matrix(&cfg, &jobs);
+    let results = run_matrix(&cfg, &jobs).expect("runs complete");
     let base_series = results[0].throughput_series();
     let cols: Vec<String> = (0..cfg.n_epochs).map(|e| format!("ep{e}")).collect();
     let col_refs: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
@@ -45,7 +45,7 @@ fn main() {
             .iter()
             .map(|t| (wl.clone(), Policy::static_topology(t, 16)))
             .collect();
-        let results = run_matrix(&cfg, &jobs);
+        let results = run_matrix(&cfg, &jobs).expect("runs complete");
         let base = results[0].mean_throughput();
         for (i, r) in results[1..].iter().enumerate() {
             rows[i].1.push(r.mean_throughput() / base);

@@ -26,7 +26,7 @@ fn main() {
     let bits = [2usize, 8, 32, 128, 512];
     let mut probe = AcfvSweepProbe::new(0, &bits, &[HashKind::Xor, HashKind::Modulo]);
     for _ in 0..cfg.warmup_epochs + cfg.n_epochs {
-        sim.run_epoch_probed(&mut probe);
+        sim.run_epoch_probed(&mut probe).expect("epoch completes");
         probe.end_epoch();
     }
     // Drop the warm-up sample.

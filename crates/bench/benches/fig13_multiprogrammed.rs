@@ -20,7 +20,7 @@ fn main() {
         let mix = Workload::mix(id).expect("mix");
         let jobs: Vec<(Workload, Policy)> =
             policies.iter().map(|p| (mix.clone(), p.clone())).collect();
-        let results = run_matrix(&cfg, &jobs);
+        let results = run_matrix(&cfg, &jobs).expect("runs complete");
         let base = results[0].mean_throughput();
         let row: Vec<f64> =
             results[1..].iter().map(|r| r.mean_throughput() / base).collect();

@@ -25,12 +25,13 @@ fn main() {
             .map(|c| (Workload::Apps(vec![mix.profile_of(c)]), Policy::baseline(1)))
             .collect();
         let alone: Vec<f64> = run_matrix(&solo_cfg, &solo_jobs)
+            .expect("solo runs complete")
             .iter()
             .map(|r| r.mean_ipcs()[0])
             .collect();
         let jobs: Vec<(Workload, Policy)> =
             policies.iter().map(|p| (mix.clone(), p.clone())).collect();
-        let results = run_matrix(&cfg, &jobs);
+        let results = run_matrix(&cfg, &jobs).expect("runs complete");
         let ws: Vec<f64> =
             results.iter().map(|r| weighted_speedup(&r.mean_ipcs(), &alone)).collect();
         let fs: Vec<f64> =

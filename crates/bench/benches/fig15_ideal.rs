@@ -21,7 +21,7 @@ fn main() {
             (mix.clone(), Policy::morph(&cfg)),
             (mix.clone(), Policy::ideal_paper_set()),
         ];
-        let results = run_matrix(&cfg, &jobs);
+        let results = run_matrix(&cfg, &jobs).expect("runs complete");
         let base = results[0].mean_throughput();
         let m = results[1].mean_throughput() / base;
         let i = results[2].mean_throughput() / base;

@@ -22,7 +22,7 @@ fn main() {
             (mix.clone(), Policy::Dsr),
             (mix.clone(), Policy::morph(&cfg)),
         ];
-        let results = run_matrix(&cfg, &jobs);
+        let results = run_matrix(&cfg, &jobs).expect("runs complete");
         let base = results[0].mean_throughput();
         let row: Vec<f64> =
             results[1..].iter().map(|r| r.mean_throughput() / base).collect();

@@ -48,7 +48,8 @@ fn bench_acfv(c: &mut Criterion) {
 
 fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine_reconfigure_16", |b| {
-        let mut e = MorphEngine::new(16, (0..16).collect(), MorphConfig::calibrated(4096, 16384));
+        let mut e = MorphEngine::new(16, (0..16).collect(), MorphConfig::calibrated(4096, 16384))
+            .expect("valid engine config");
         for s in 0..16usize {
             for i in 0..2000u64 {
                 e.on_touched(CacheLevelId::L2, s, s, i * 977 + s as u64);

@@ -16,7 +16,7 @@ fn main() {
         .iter()
         .map(|&id| (Workload::mix(id).expect("mix"), Policy::morph(&cfg)))
         .collect();
-    let results = run_matrix(&cfg, &jobs);
+    let results = run_matrix(&cfg, &jobs).expect("runs complete");
     let counts: Vec<f64> = results.iter().map(|r| r.total_reconfigs() as f64).collect();
     let asym: Vec<f64> = results
         .iter()
@@ -42,7 +42,7 @@ fn main() {
         .iter()
         .map(|p| (Workload::Multithreaded(*p), Policy::morph(&cfg)))
         .collect();
-    let results = run_matrix(&cfg, &jobs);
+    let results = run_matrix(&cfg, &jobs).expect("runs complete");
     let counts: Vec<f64> = results.iter().map(|r| r.total_reconfigs() as f64).collect();
     let asym: Vec<f64> = results
         .iter()

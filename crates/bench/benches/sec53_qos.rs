@@ -23,7 +23,7 @@ fn main() {
             (mix.clone(), Policy::morph(&cfg)),
             (mix.clone(), Policy::morph_qos(&cfg)),
         ];
-        let results = run_matrix(&cfg, &jobs);
+        let results = run_matrix(&cfg, &jobs).expect("runs complete");
         let fair = results[0].mean_ipcs();
         let worst = |ipcs: &[f64]| {
             ipcs.iter()

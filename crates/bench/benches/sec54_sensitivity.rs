@@ -21,7 +21,7 @@ fn gain(cfg: &SystemConfig, mixes: &[usize], n: usize) -> f64 {
             (wl.clone(), Policy::baseline(n)),
             (wl.clone(), Policy::morph(cfg)),
         ];
-        let r = run_matrix(cfg, &jobs);
+        let r = run_matrix(cfg, &jobs).expect("runs complete");
         gains.push(r[1].mean_throughput() / r[0].mean_throughput() - 1.0);
     }
     mean(&gains) * 100.0

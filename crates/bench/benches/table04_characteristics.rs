@@ -25,7 +25,7 @@ fn main() {
         let mut probe = FootprintProbe::new(1);
         let (mut l2s, mut l3s) = (Vec::new(), Vec::new());
         for e in 0..cfg.warmup_epochs + cfg.n_epochs {
-            sim.run_epoch_probed(&mut probe);
+            sim.run_epoch_probed(&mut probe).expect("epoch completes");
             let (l2, l3) = probe.take_epoch(4096, 16384);
             if e >= cfg.warmup_epochs {
                 l2s.push(l2[0].min(1.0));
@@ -61,7 +61,7 @@ fn main() {
         let mut probe = FootprintProbe::new(16);
         let (mut l2m, mut l3m, mut l2ss, mut l3ss) = (vec![], vec![], vec![], vec![]);
         for e in 0..cfg.warmup_epochs + cfg.n_epochs {
-            sim.run_epoch_probed(&mut probe);
+            sim.run_epoch_probed(&mut probe).expect("epoch completes");
             let (l2, l3) = probe.take_epoch(4096, 16384);
             if e >= cfg.warmup_epochs {
                 let l2c: Vec<f64> = l2.iter().map(|v| v.min(1.0)).collect();

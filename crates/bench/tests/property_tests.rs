@@ -126,7 +126,7 @@ proptest! {
         fills in proptest::collection::vec((0usize..4, 0u8..120), 0..40),
         rounds in 1usize..4,
     ) {
-        let mut e = MorphEngine::new(4, (0..4).collect(), MorphConfig::calibrated(128, 128));
+        let mut e = MorphEngine::new(4, (0..4).collect(), MorphConfig::calibrated(128, 128)).unwrap();
         for r in 0..rounds {
             for &(slice, n) in &fills {
                 for i in 0..n as u64 {
@@ -134,7 +134,7 @@ proptest! {
                     e.on_touched(CacheLevelId::L3, slice, slice, i * 6367 + r as u64);
                 }
             }
-            let out = e.reconfigure(r as u64);
+            let out = e.reconfigure(r as u64).unwrap();
             prop_assert!(is_partition(&out.l2_groups, 4));
             prop_assert!(is_partition(&out.l3_groups, 4));
             prop_assert!(refines(&out.l2_groups, &out.l3_groups));

@@ -34,7 +34,10 @@ impl Grouping {
 
     /// One group containing all `n` slices (all-shared).
     pub fn all_shared(n: usize) -> Self {
-        Self { group_of: vec![0; n], groups: vec![(0..n).collect()] }
+        Self {
+            group_of: vec![0; n],
+            groups: vec![(0..n).collect()],
+        }
     }
 
     /// Contiguous groups of `group_size` slices each: slices
@@ -45,7 +48,7 @@ impl Grouping {
     /// Returns [`ConfigError::InvalidGrouping`] if `group_size` does not
     /// divide `n` or is zero.
     pub fn contiguous(n: usize, group_size: usize) -> Result<Self, ConfigError> {
-        if group_size == 0 || n % group_size != 0 {
+        if group_size == 0 || !n.is_multiple_of(group_size) {
             return Err(ConfigError::InvalidGrouping(format!(
                 "group size {group_size} does not divide slice count {n}"
             )));
@@ -90,9 +93,14 @@ impl Grouping {
             sorted_groups.push(members);
         }
         if let Some(s) = group_of.iter().position(|&g| g == usize::MAX) {
-            return Err(ConfigError::InvalidGrouping(format!("slice {s} is in no group")));
+            return Err(ConfigError::InvalidGrouping(format!(
+                "slice {s} is in no group"
+            )));
         }
-        Ok(Self { group_of, groups: sorted_groups })
+        Ok(Self {
+            group_of,
+            groups: sorted_groups,
+        })
     }
 
     /// Number of slices covered.
@@ -335,8 +343,8 @@ mod tests {
         // Every grouping refines itself.
         assert!(l3.refines(&l3));
         // A straddling group does not refine.
-        let straddle = Grouping::from_groups(8, vec![vec![3, 4], vec![0, 1, 2], vec![5, 6, 7]])
-            .unwrap();
+        let straddle =
+            Grouping::from_groups(8, vec![vec![3, 4], vec![0, 1, 2], vec![5, 6, 7]]).unwrap();
         assert!(!straddle.refines(&l3));
     }
 
@@ -357,8 +365,8 @@ mod tests {
 
     #[test]
     fn describe_is_canonical() {
-        let g = Grouping::from_groups(8, vec![vec![4, 5, 6, 7], vec![0, 1], vec![2], vec![3]])
-            .unwrap();
+        let g =
+            Grouping::from_groups(8, vec![vec![4, 5, 6, 7], vec![0, 1], vec![2], vec![3]]).unwrap();
         assert_eq!(g.describe(), "[0-1][2][3][4-7]");
         let nn = Grouping::from_groups(4, vec![vec![0, 2], vec![1], vec![3]]).unwrap();
         assert_eq!(nn.describe(), "[0,2][1][3]");

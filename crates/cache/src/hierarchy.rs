@@ -157,8 +157,18 @@ impl Hierarchy {
             l1: (0..params.n_cores)
                 .map(|_| Slice::new(params.l1, ReplacementKind::Lru))
                 .collect(),
-            l2: CacheLevel::new(Level::L2, params.n_cores, params.l2_slice, params.replacement),
-            l3: CacheLevel::new(Level::L3, params.n_cores, params.l3_slice, params.replacement),
+            l2: CacheLevel::new(
+                Level::L2,
+                params.n_cores,
+                params.l2_slice,
+                params.replacement,
+            ),
+            l3: CacheLevel::new(
+                Level::L3,
+                params.n_cores,
+                params.l3_slice,
+                params.replacement,
+            ),
             l1_stats: LevelStats::new(params.n_cores),
             memory_writebacks: 0,
             params,
@@ -212,10 +222,8 @@ impl Hierarchy {
         for core in 0..self.params.n_cores {
             let members = self.l2.grouping().group_members(core).to_vec();
             let mut lost: Vec<Entry> = Vec::new();
-            self.l1[core].retain_entries(
-                |e| self.l2.resident_in(&members, e.line),
-                |e| lost.push(e),
-            );
+            self.l1[core]
+                .retain_entries(|e| self.l2.resident_in(&members, e.line), |e| lost.push(e));
             for e in lost {
                 self.l1[core].stats.back_invalidations += 1;
                 if e.dirty {
@@ -254,10 +262,8 @@ impl Hierarchy {
             let mut lost: Vec<Entry> = Vec::new();
             {
                 let (l2, l3) = (&mut self.l2, &self.l3);
-                l2.slice_mut(s).retain_entries(
-                    |e| l3.resident_in(&l3_members, e.line),
-                    |e| lost.push(e),
-                );
+                l2.slice_mut(s)
+                    .retain_entries(|e| l3.resident_in(&l3_members, e.line), |e| lost.push(e));
             }
             for e in lost {
                 self.l2.slice_mut(s).stats.back_invalidations += 1;
@@ -314,7 +320,11 @@ impl Hierarchy {
         let l2_hit = self.l2.lookup(core, line, sink);
         match l2_hit {
             Some(hit) => {
-                cycles += if hit.local { lat.l2_local } else { lat.l2_merged };
+                cycles += if hit.local {
+                    lat.l2_local
+                } else {
+                    lat.l2_merged
+                };
                 if is_write {
                     self.l2.mark_dirty(core, line);
                 }
@@ -325,7 +335,11 @@ impl Hierarchy {
                 match l3_hit {
                     Some(hit) => {
                         cycles += lat.l2_local; // L2 tag check on the way down.
-                        cycles += if hit.local { lat.l3_local } else { lat.l3_merged };
+                        cycles += if hit.local {
+                            lat.l3_local
+                        } else {
+                            lat.l3_merged
+                        };
                     }
                     None => {
                         cycles += lat.l2_local + lat.l3_local + lat.memory;
@@ -390,8 +404,16 @@ impl Hierarchy {
             .invalid_way(set)
             .or_else(|| self.l1[core].lru_way(set).map(|(w, _)| w))
             .expect("L1 set always has a victim");
-        let displaced =
-            self.l1[core].install(set, way, Entry { line, owner: core, stamp, dirty });
+        let displaced = self.l1[core].install(
+            set,
+            way,
+            Entry {
+                line,
+                owner: core,
+                stamp,
+                dirty,
+            },
+        );
         if let Some(e) = displaced {
             self.l1[core].stats.evictions += 1;
             if e.dirty {
@@ -506,7 +528,9 @@ mod tests {
         let mut sink = NoopSink;
         let l1 = h.params().l1;
         // Fill one L1 set beyond capacity: ways+1 lines in the same set.
-        let lines: Vec<Line> = (0..=l1.ways() as u64).map(|i| i * l1.sets() as u64).collect();
+        let lines: Vec<Line> = (0..=l1.ways() as u64)
+            .map(|i| i * l1.sets() as u64)
+            .collect();
         for &l in &lines {
             h.access(0, l, false, &mut sink);
         }
@@ -548,7 +572,10 @@ mod tests {
         let mut h = h4();
         let mut g = Grouping::private(4);
         g.merge_pair(0, 1).unwrap();
-        assert!(h.set_l2_grouping(g.clone()).is_err(), "L2 merge with split L3 must fail");
+        assert!(
+            h.set_l2_grouping(g.clone()).is_err(),
+            "L2 merge with split L3 must fail"
+        );
         h.set_l3_grouping(g.clone()).unwrap();
         h.set_l2_grouping(g).unwrap();
     }
@@ -588,8 +615,7 @@ mod tests {
 
     #[test]
     fn inclusion_holds_under_random_traffic() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = morphcache::Xoshiro256pp::seed_from_u64(7);
         let mut h = h4();
         let mut sink = NoopSink;
         // Shared L2+L3 pairs.
@@ -599,8 +625,8 @@ mod tests {
         h.set_l3_grouping(g.clone()).unwrap();
         h.set_l2_grouping(g).unwrap();
         for _ in 0..20_000 {
-            let core = rng.gen_range(0..4);
-            let line = rng.gen_range(0..4096u64);
+            let core = rng.range_usize(0, 4);
+            let line = rng.range_u64(0, 4096);
             let write = rng.gen_bool(0.3);
             h.access(core, line, write, &mut sink);
         }
@@ -613,7 +639,9 @@ mod tests {
         let mut sink = RecordingSink::default();
         let l3 = h.params().l3_slice;
         // Touch ways+1 lines mapping to the same L3 set from core 0.
-        let lines: Vec<Line> = (0..=l3.ways() as u64).map(|i| i * l3.sets() as u64).collect();
+        let lines: Vec<Line> = (0..=l3.ways() as u64)
+            .map(|i| i * l3.sets() as u64)
+            .collect();
         for &l in &lines {
             h.access(0, l, false, &mut sink);
         }
@@ -623,7 +651,10 @@ mod tests {
         h.check_inclusion().unwrap();
         // And the access after eviction is a full miss again.
         let p = h.params().latency;
-        assert_eq!(h.access(0, lines[0], false, &mut sink), p.l1 + p.l2_local + p.l3_local + p.memory);
+        assert_eq!(
+            h.access(0, lines[0], false, &mut sink),
+            p.l1 + p.l2_local + p.l3_local + p.memory
+        );
     }
 
     #[test]
@@ -631,7 +662,9 @@ mod tests {
         let mut h = h4();
         let mut sink = NoopSink;
         let l3 = h.params().l3_slice;
-        let lines: Vec<Line> = (0..=l3.ways() as u64).map(|i| i * l3.sets() as u64).collect();
+        let lines: Vec<Line> = (0..=l3.ways() as u64)
+            .map(|i| i * l3.sets() as u64)
+            .collect();
         h.access(0, lines[0], true, &mut sink); // dirty line
         for &l in &lines[1..] {
             h.access(0, l, false, &mut sink);

@@ -5,6 +5,7 @@
 //! 1 MB 16-way L3 slices (30 cycles local / 45 merged), 300-cycle memory.
 
 use crate::ConfigError;
+use morphcache::MorphError;
 
 /// Geometry of one cache (or cache slice): `sets × ways × block_bytes`.
 ///
@@ -39,7 +40,11 @@ impl CacheParams {
                 ));
             }
         }
-        Ok(Self { sets, ways, block_bytes })
+        Ok(Self {
+            sets,
+            ways,
+            block_bytes,
+        })
     }
 
     /// Creates a geometry from a total capacity in bytes and associativity.
@@ -104,6 +109,40 @@ impl CacheParams {
     pub fn tag(&self, line: u64) -> u64 {
         line >> self.sets.trailing_zeros()
     }
+
+    /// Re-checks the power-of-two indexing invariants, reporting
+    /// violations as workspace-level typed errors. `field` names the
+    /// cache this geometry describes (e.g. `"l2_slice"`) and is carried
+    /// into the error verbatim.
+    ///
+    /// Construction already enforces these invariants, so this only fails
+    /// for values forged through transmutes or future field exposure; it
+    /// exists so system-level configuration validation has a single typed
+    /// error surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::InvalidConfig`] naming `field` and the
+    /// offending component.
+    pub fn validate(&self, field: &'static str) -> Result<(), MorphError> {
+        for (constraint, v) in [
+            ("sets must be a nonzero power of two", self.sets),
+            ("ways must be a nonzero power of two", self.ways),
+            (
+                "block_bytes must be a nonzero power of two",
+                self.block_bytes,
+            ),
+        ] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(MorphError::InvalidConfig {
+                    field,
+                    value: v as u64,
+                    constraint,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Access latencies, in core cycles (Table 3 of the paper).
@@ -131,13 +170,24 @@ pub struct LatencyParams {
 impl LatencyParams {
     /// The paper's Table 3 latencies.
     pub fn paper() -> Self {
-        Self { l1: 3, l2_local: 10, l2_merged: 25, l3_local: 30, l3_merged: 45, memory: 300 }
+        Self {
+            l1: 3,
+            l2_local: 10,
+            l2_merged: 25,
+            l3_local: 30,
+            l3_merged: 45,
+            memory: 300,
+        }
     }
 
     /// The paper's static-topology assumption: fixed 10-cycle L2 and
     /// 30-cycle L3 regardless of sharing degree (§4).
     pub fn paper_static(&self) -> Self {
-        Self { l2_merged: self.l2_local, l3_merged: self.l3_local, ..*self }
+        Self {
+            l2_merged: self.l2_local,
+            l3_merged: self.l3_local,
+            ..*self
+        }
     }
 }
 
@@ -191,6 +241,12 @@ mod tests {
         // tag || set reconstructs the line address.
         let rebuilt = (p.tag(line) << 9) | set as u64;
         assert_eq!(rebuilt, line);
+    }
+
+    #[test]
+    fn validate_accepts_constructed_geometry() {
+        let p = CacheParams::new(512, 8, 64).unwrap();
+        assert!(p.validate("l2_slice").is_ok());
     }
 
     #[test]

@@ -40,8 +40,14 @@ impl TreePlru {
     ///
     /// Panics if `ways` is zero or not a power of two.
     pub fn new(ways: usize) -> Self {
-        assert!(ways.is_power_of_two() && ways > 0, "ways must be a power of two");
-        Self { bits: vec![false; ways.saturating_sub(1)], ways }
+        assert!(
+            ways.is_power_of_two() && ways > 0,
+            "ways must be a power of two"
+        );
+        Self {
+            bits: vec![false; ways.saturating_sub(1)],
+            ways,
+        }
     }
 
     /// Number of ways this tree covers.
@@ -108,7 +114,10 @@ impl TreePlru {
     ///
     /// Panics if the two trees cover different way counts.
     pub fn merge(left: &TreePlru, right: &TreePlru) -> TreePlru {
-        assert_eq!(left.ways, right.ways, "can only merge equally sized PLRU trees");
+        assert_eq!(
+            left.ways, right.ways,
+            "can only merge equally sized PLRU trees"
+        );
         let ways = left.ways * 2;
         let mut merged = TreePlru::new(ways);
         // Heap layout: node 0 = new root; left subtree occupies the odd

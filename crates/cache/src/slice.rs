@@ -52,9 +52,9 @@ impl Slice {
     /// Creates an empty slice with the given geometry and replacement kind.
     pub fn new(params: CacheParams, kind: ReplacementKind) -> Self {
         let plru = match kind {
-            ReplacementKind::TreePlru => {
-                (0..params.sets()).map(|_| TreePlru::new(params.ways())).collect()
-            }
+            ReplacementKind::TreePlru => (0..params.sets())
+                .map(|_| TreePlru::new(params.ways()))
+                .collect(),
             ReplacementKind::Lru => Vec::new(),
         };
         Self {
@@ -138,7 +138,11 @@ impl Slice {
     ///
     /// Panics if this slice does not use [`ReplacementKind::TreePlru`].
     pub fn plru_victim(&self, set: usize) -> usize {
-        assert_eq!(self.kind, ReplacementKind::TreePlru, "slice is not in PLRU mode");
+        assert_eq!(
+            self.kind,
+            ReplacementKind::TreePlru,
+            "slice is not in PLRU mode"
+        );
         self.plru[set].victim()
     }
 
@@ -177,7 +181,11 @@ impl Slice {
     /// Removes every entry for which `pred` returns true, invoking `f` on
     /// each removed entry. Used for inclusion enforcement on
     /// reconfiguration.
-    pub fn retain_entries(&mut self, mut pred: impl FnMut(&Entry) -> bool, mut f: impl FnMut(Entry)) {
+    pub fn retain_entries(
+        &mut self,
+        mut pred: impl FnMut(&Entry) -> bool,
+        mut f: impl FnMut(Entry),
+    ) {
         for (idx, slot) in self.entries.iter_mut().enumerate() {
             if let Some(e) = slot {
                 if !pred(e) {
@@ -233,10 +241,17 @@ pub struct CacheLevel {
 
 impl CacheLevel {
     /// Creates a level of `n_slices` identical private slices.
-    pub fn new(level: Level, n_slices: usize, slice_params: CacheParams, kind: ReplacementKind) -> Self {
+    pub fn new(
+        level: Level,
+        n_slices: usize,
+        slice_params: CacheParams,
+        kind: ReplacementKind,
+    ) -> Self {
         Self {
             level,
-            slices: (0..n_slices).map(|_| Slice::new(slice_params, kind)).collect(),
+            slices: (0..n_slices)
+                .map(|_| Slice::new(slice_params, kind))
+                .collect(),
             grouping: Grouping::private(n_slices),
             kind,
             stamp: 0,
@@ -374,7 +389,10 @@ impl CacheLevel {
             .group_members(core)
             .iter()
             .find(|&&s| self.slices[s].probe(line).is_some())
-            .map(|&s| GroupHit { slice: s, local: s == core })
+            .map(|&s| GroupHit {
+                slice: s,
+                local: s == core,
+            })
     }
 
     /// True if `line` is resident anywhere in the slices listed.
@@ -400,7 +418,10 @@ impl CacheLevel {
         dirty: bool,
         sink: &mut dyn CacheEventSink,
     ) -> Option<Displaced> {
-        debug_assert!(self.peek(core, line).is_none(), "inserting an already-resident line");
+        debug_assert!(
+            self.peek(core, line).is_none(),
+            "inserting an already-resident line"
+        );
         let set = self.slices[core].params().set_index(line);
         // 1. Invalid way in home slice, then any member.
         let mut target: Option<(SliceId, usize)> = None;
@@ -445,7 +466,16 @@ impl CacheLevel {
         }
         let (s, w) = target.expect("a set always has a victim");
         let stamp = self.next_stamp();
-        let displaced = self.slices[s].install(set, w, Entry { line, owner: core, stamp, dirty });
+        let displaced = self.slices[s].install(
+            set,
+            w,
+            Entry {
+                line,
+                owner: core,
+                stamp,
+                dirty,
+            },
+        );
         sink.inserted(self.level, s, core, line);
         if let Some(e) = displaced {
             self.slices[s].stats.evictions += 1;
@@ -526,7 +556,16 @@ mod tests {
     fn slice_insert_probe_invalidate() {
         let mut s = Slice::new(small_params(), ReplacementKind::Lru);
         assert_eq!(s.probe(12), None);
-        s.install(0, 0, Entry { line: 12, owner: 0, stamp: 1, dirty: false });
+        s.install(
+            0,
+            0,
+            Entry {
+                line: 12,
+                owner: 0,
+                stamp: 1,
+                dirty: false,
+            },
+        );
         // line 12 maps to set 0 (12 & 3 == 0).
         assert_eq!(s.probe(12), Some(0));
         assert_eq!(s.occupancy(), 1);
@@ -538,8 +577,26 @@ mod tests {
     #[test]
     fn slice_lru_way_is_min_stamp() {
         let mut s = Slice::new(small_params(), ReplacementKind::Lru);
-        s.install(0, 0, Entry { line: set0_line(1), owner: 0, stamp: 5, dirty: false });
-        s.install(0, 1, Entry { line: set0_line(2), owner: 0, stamp: 3, dirty: false });
+        s.install(
+            0,
+            0,
+            Entry {
+                line: set0_line(1),
+                owner: 0,
+                stamp: 5,
+                dirty: false,
+            },
+        );
+        s.install(
+            0,
+            1,
+            Entry {
+                line: set0_line(2),
+                owner: 0,
+                stamp: 3,
+                dirty: false,
+            },
+        );
         assert_eq!(s.lru_way(0), Some((1, 3)));
         s.touch(0, 1, 9);
         assert_eq!(s.lru_way(0), Some((0, 5)));
@@ -563,7 +620,10 @@ mod tests {
         let mut l = level(2);
         let mut sink = NoopSink;
         l.insert(0, 100, false, &mut sink);
-        assert!(l.lookup(1, 100, &mut sink).is_none(), "core 1 must not see core 0's private line");
+        assert!(
+            l.lookup(1, 100, &mut sink).is_none(),
+            "core 1 must not see core 0's private line"
+        );
     }
 
     #[test]
@@ -577,7 +637,10 @@ mod tests {
         }
         // All four lines resident: capacity doubled by the merge.
         for i in 0..4 {
-            assert!(l.lookup(0, set0_line(i + 1), &mut sink).is_some(), "line {i} missing");
+            assert!(
+                l.lookup(0, set0_line(i + 1), &mut sink).is_some(),
+                "line {i} missing"
+            );
         }
         // A fifth insertion evicts the global LRU (line 1, which was
         // re-touched above... the LRU is line 1 because lookups refreshed
@@ -674,7 +737,9 @@ mod tests {
             l.insert(0, set0_line(i), false, &mut sink);
         }
         // 4 ways total in the merged set; at most 4 lines resident.
-        let resident = (1..=8).filter(|&i| l.peek(0, set0_line(i)).is_some()).count();
+        let resident = (1..=8)
+            .filter(|&i| l.peek(0, set0_line(i)).is_some())
+            .count();
         assert_eq!(resident, 4);
     }
 

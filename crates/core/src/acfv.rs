@@ -37,8 +37,15 @@ impl Acfv {
     ///
     /// Panics if `bits` is zero or not a power of two.
     pub fn new(bits: usize, hash: HashKind) -> Self {
-        assert!(bits.is_power_of_two() && bits > 0, "ACFV length must be a power of two");
-        Self { words: vec![0; bits.div_ceil(64)], bits, hash }
+        assert!(
+            bits.is_power_of_two() && bits > 0,
+            "ACFV length must be a power of two"
+        );
+        Self {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+            hash,
+        }
     }
 
     /// Vector length in bits.
@@ -245,16 +252,15 @@ mod tests {
     fn estimate_correlates_with_oracle_across_epochs() {
         // Miniature Fig. 5: footprints of varying size, estimated by a
         // 128-bit XOR ACFV, correlate strongly with the oracle.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = crate::rng::Xoshiro256pp::seed_from_u64(3);
         let mut est = Vec::new();
         let mut ora = Vec::new();
         for _ in 0..30 {
             let mut v = Acfv::new(128, HashKind::Xor);
             let mut o = ExactFootprint::new();
-            let n = rng.gen_range(5..120usize);
+            let n = rng.range_usize(5, 120);
             for _ in 0..n {
-                let t: u64 = rng.gen();
+                let t: u64 = rng.next_u64();
                 v.record_insert(t);
                 o.record_insert(t);
             }

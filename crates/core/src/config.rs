@@ -2,10 +2,9 @@
 
 use crate::hash::HashKind;
 use crate::msat::Msat;
-use serde::{Deserialize, Serialize};
 
 /// How conflicting merge and split desires are arbitrated (§2.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConflictPolicy {
     /// "In case of such a split/merge conflict, MorphCache, by default,
     /// favors a merge": merges are considered first; groups that merge do
@@ -17,7 +16,7 @@ pub enum ConflictPolicy {
 }
 
 /// Which slice groups the engine may form (§5.5 extensions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum GroupingMode {
     /// Default MorphCache: buddy-aligned power-of-two groups of
     /// neighboring slices (private / dual / quad / oct / all-shared).
@@ -102,7 +101,10 @@ impl MorphConfig {
 
     /// Paper defaults with QoS throttling enabled (§5.3).
     pub fn paper_qos() -> Self {
-        Self { qos: true, ..Self::paper() }
+        Self {
+            qos: true,
+            ..Self::paper()
+        }
     }
 
     /// Paper defaults with one-to-one ("oracle-sized") decision vectors

@@ -25,6 +25,7 @@
 
 use crate::acfv::Acfv;
 use crate::config::{ConflictPolicy, GroupingMode, MorphConfig};
+use crate::error::MorphError;
 use crate::msat::Utilization;
 use crate::topology::{self, is_partition};
 use crate::CacheLevelId;
@@ -214,13 +215,48 @@ impl MorphEngine {
     /// `apps[c]` giving the address-space id of core `c` (threads of one
     /// multithreaded application share an id).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is not a power of two or `apps.len() != n`.
-    pub fn new(n: usize, apps: Vec<usize>, config: MorphConfig) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "slice count must be a power of two");
-        assert_eq!(apps.len(), n, "one app id per core");
-        Self {
+    /// Returns [`MorphError::InvalidConfig`] if `n` is not a nonzero power
+    /// of two or the configured ACFV/slice geometry is degenerate, and
+    /// [`MorphError::Mismatch`] if `apps.len() != n`.
+    pub fn new(n: usize, apps: Vec<usize>, config: MorphConfig) -> Result<Self, MorphError> {
+        if !n.is_power_of_two() {
+            return Err(MorphError::InvalidConfig {
+                field: "n_slices",
+                value: n as u64,
+                constraint: "must be a nonzero power of two",
+            });
+        }
+        if apps.len() != n {
+            return Err(MorphError::Mismatch {
+                what: "app ids vs slices",
+                left: apps.len(),
+                right: n,
+            });
+        }
+        if config.acfv_bits == 0 {
+            return Err(MorphError::InvalidConfig {
+                field: "acfv_bits",
+                value: 0,
+                constraint: "must be positive",
+            });
+        }
+        if !config.l2_slice_lines.is_power_of_two() {
+            return Err(MorphError::InvalidConfig {
+                field: "l2_slice_lines",
+                value: config.l2_slice_lines as u64,
+                constraint: "must be a nonzero power of two",
+            });
+        }
+        if !config.l3_slice_lines.is_power_of_two() {
+            return Err(MorphError::InvalidConfig {
+                field: "l3_slice_lines",
+                value: config.l3_slice_lines as u64,
+                constraint: "must be a nonzero power of two",
+            });
+        }
+        Ok(Self {
             n,
             apps,
             l2: LevelState::new(n, config.acfv_bits, config.hash, config.l2_slice_lines),
@@ -232,7 +268,7 @@ impl MorphEngine {
             probation: Vec::new(),
             blacklist: Vec::new(),
             prev_perf: None,
-        }
+        })
     }
 
     /// Number of slices per level.
@@ -335,7 +371,17 @@ impl MorphEngine {
     /// Runs one reconfiguration round and resets the ACFVs for the next
     /// epoch. Returns the (possibly unchanged) groupings and the events
     /// performed.
-    pub fn reconfigure(&mut self, epoch: u64) -> ReconfigOutcome {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Grouping`] if the round would leave either
+    /// level in a non-partition state — this is a simulator bug caught
+    /// before it can corrupt the hierarchy, not an expected condition. A
+    /// refinement (inclusion) violation between the levels is *repaired*
+    /// instead (L2 is re-derived as the meet of the two groupings), since
+    /// the meet always restores inclusion without losing either level's
+    /// capacity decisions.
+    pub fn reconfigure(&mut self, epoch: u64) -> Result<ReconfigOutcome, MorphError> {
         let mut events = Vec::new();
         self.blacklist.retain(|(_, _, until)| *until > epoch);
         self.check_probation(epoch, &mut events);
@@ -356,17 +402,33 @@ impl MorphEngine {
         self.merged_last_round = events.iter().any(|e| e.kind == ReconfigKind::Merge);
         self.l2.reset();
         self.l3.reset();
-        debug_assert!(is_partition(&self.l2.groups, self.n));
-        debug_assert!(is_partition(&self.l3.groups, self.n));
-        debug_assert!(topology::refines(&self.l2.groups, &self.l3.groups));
+        if !is_partition(&self.l2.groups, self.n) {
+            return Err(MorphError::Grouping(format!(
+                "epoch {epoch}: L2 groups do not partition {} slices: {:?}",
+                self.n, self.l2.groups
+            )));
+        }
+        if !is_partition(&self.l3.groups, self.n) {
+            return Err(MorphError::Grouping(format!(
+                "epoch {epoch}: L3 groups do not partition {} slices: {:?}",
+                self.n, self.l3.groups
+            )));
+        }
+        if !topology::refines(&self.l2.groups, &self.l3.groups) {
+            // Repair: the meet refines both operands, so installing it at
+            // L2 restores inclusion while keeping every boundary both
+            // levels asked for.
+            self.l2.groups = topology::meet(&self.l2.groups, &self.l3.groups);
+            sort_groups(&mut self.l2.groups);
+        }
         let asymmetric = !topology::is_symmetric(&self.l2.groups, &self.l3.groups);
         self.log.extend(events.iter().cloned());
-        ReconfigOutcome {
+        Ok(ReconfigOutcome {
             l2_groups: self.l2.groups.clone(),
             l3_groups: self.l3.groups.clone(),
             events,
             asymmetric,
-        }
+        })
     }
 
     /// Evaluates last round's merges against the per-slice miss registers:
@@ -388,10 +450,13 @@ impl MorphEngine {
                 CacheLevelId::L3 => &self.l3,
             };
             // Only check groups that still exist exactly as merged.
-            if !state.groups.iter().any(|g| *g == span) {
+            if !state.groups.contains(&span) {
                 continue;
             }
-            let post: f64 = span.iter().map(|&c| perf.get(c).copied().unwrap_or(0.0)).sum();
+            let post: f64 = span
+                .iter()
+                .map(|&c| perf.get(c).copied().unwrap_or(0.0))
+                .sum();
             if post < p.pre_perf * 0.95 {
                 // Revert. The L2 refinement is preserved: an L3 revert is
                 // skipped if an L2 group straddles the halves.
@@ -444,7 +509,8 @@ impl MorphEngine {
     /// Whether groups `a` and `b` contain threads of a common address
     /// space.
     fn shares_space(&self, a: &[usize], b: &[usize]) -> bool {
-        a.iter().any(|&sa| b.iter().any(|&sb| self.apps[sa] == self.apps[sb]))
+        a.iter()
+            .any(|&sa| b.iter().any(|&sb| self.apps[sa] == self.apps[sb]))
     }
 
     /// The §2.2 merge test for two candidate groups at `level`.
@@ -465,10 +531,8 @@ impl MorphEngine {
         };
         let (ua, ub) = (state.utilization(a), state.utilization(b));
         let (ca, cb) = (self.config.msat.classify(ua), self.config.msat.classify(ub));
-        let exactly_one_high =
-            (ca == Utilization::High) != (cb == Utilization::High);
-        let combined = (ua * a.len() as f64 + ub * b.len() as f64)
-            / (a.len() + b.len()) as f64;
+        let exactly_one_high = (ca == Utilization::High) != (cb == Utilization::High);
+        let combined = (ua * a.len() as f64 + ub * b.len() as f64) / (a.len() + b.len()) as f64;
         // A polluter churns heavily while reusing almost nothing — a
         // streaming access pattern. It is excluded from capacity merges:
         // pooling with it donates capacity to dead lines.
@@ -513,8 +577,7 @@ impl MorphEngine {
             CacheLevelId::L3 => &self.l3,
         };
         let (ua, ub) = (state.utilization(a), state.utilization(b));
-        let combined =
-            (ua * a.len() as f64 + ub * b.len() as f64) / (a.len() + b.len()) as f64;
+        let combined = (ua * a.len() as f64 + ub * b.len() as f64) / (a.len() + b.len()) as f64;
         if combined < self.config.msat.low() {
             return true;
         }
@@ -555,37 +618,34 @@ impl MorphEngine {
                 CacheLevelId::L2 => self.l2.groups.clone(),
                 CacheLevelId::L3 => self.l3.groups.clone(),
             };
-            let candidate = self
-                .merge_candidates(&groups)
-                .into_iter()
-                .find(|&(i, j)| {
+            let candidate = self.merge_candidates(&groups).into_iter().find(|&(i, j)| {
+                let mut span = groups[i].clone();
+                span.extend(groups[j].iter().copied());
+                span.sort_unstable();
+                if self.blacklisted(level, &span) {
+                    return false;
+                }
+                if !self.mergeable(level, &groups[i], &groups[j]) {
+                    return false;
+                }
+                if level == CacheLevelId::L2 {
+                    // Inclusion safety: the merged L2 span must be
+                    // covered by one L3 group, merging L3 on demand
+                    // (merge-aggressive) or requiring prior coverage
+                    // (split-aggressive).
                     let mut span = groups[i].clone();
-                    span.extend(groups[j].iter().copied());
-                    span.sort_unstable();
-                    if self.blacklisted(level, &span) {
-                        return false;
-                    }
-                    if !self.mergeable(level, &groups[i], &groups[j]) {
-                        return false;
-                    }
-                    if level == CacheLevelId::L2 {
-                        // Inclusion safety: the merged L2 span must be
-                        // covered by one L3 group, merging L3 on demand
-                        // (merge-aggressive) or requiring prior coverage
-                        // (split-aggressive).
-                        let mut span = groups[i].clone();
-                        span.extend(&groups[j]);
-                        if !covered_by_one(&span, &self.l3.groups) {
-                            match self.config.policy {
-                                ConflictPolicy::MergeAggressive => {
-                                    return self.can_cover_l3(&span);
-                                }
-                                ConflictPolicy::SplitAggressive => return false,
+                    span.extend(&groups[j]);
+                    if !covered_by_one(&span, &self.l3.groups) {
+                        match self.config.policy {
+                            ConflictPolicy::MergeAggressive => {
+                                return self.can_cover_l3(&span);
                             }
+                            ConflictPolicy::SplitAggressive => return false,
                         }
                     }
-                    true
-                });
+                }
+                true
+            });
             let Some((i, j)) = candidate else { break };
             if level == CacheLevelId::L2 {
                 let mut span = groups[i].clone();
@@ -610,8 +670,11 @@ impl MorphEngine {
                 pre_perf: pre,
             });
             let merged = merge_groups(&groups, i, j);
-            let new_members =
-                merged.iter().find(|g| g.contains(&groups[i][0])).expect("merged group").clone();
+            let new_members = merged
+                .iter()
+                .find(|g| g.contains(&groups[i][0]))
+                .expect("merged group")
+                .clone();
             match level {
                 CacheLevelId::L2 => self.l2.groups = merged,
                 CacheLevelId::L3 => self.l3.groups = merged,
@@ -643,11 +706,9 @@ impl MorphEngine {
                 }
                 if level == CacheLevelId::L3 {
                     // Inclusion safety: no L2 group may straddle the split.
-                    let straddles = self
-                        .l2
-                        .groups
-                        .iter()
-                        .any(|l2g| l2g.iter().any(|s| a.contains(s)) && l2g.iter().any(|s| b.contains(s)));
+                    let straddles = self.l2.groups.iter().any(|l2g| {
+                        l2g.iter().any(|s| a.contains(s)) && l2g.iter().any(|s| b.contains(s))
+                    });
                     if straddles {
                         match self.config.policy {
                             // Merge-aggressive: keep the merge; skip the split.
@@ -708,7 +769,13 @@ impl MorphEngine {
                 .filter(|(_, g)| g.iter().any(|s| span.contains(s)))
                 .map(|(i, _)| i)
                 .collect();
-            assert!(idx.len() >= 2, "span not covered but only one intersecting group");
+            // Internal invariant: an uncovered span must intersect at
+            // least two groups. Guarded (not asserted) so a violation
+            // cannot loop forever or panic a release build.
+            if idx.len() < 2 {
+                debug_assert!(false, "span not covered but only one intersecting group");
+                break;
+            }
             let (i, j) = (idx[0], idx[1]);
             let merged = merge_groups(&self.l3.groups, i, j);
             let new_members = merged
@@ -737,13 +804,13 @@ impl MorphEngine {
         events: &mut Vec<ReconfigEvent>,
     ) {
         loop {
-            let straddler = self.l2.groups.iter().position(|g| {
-                g.iter().any(|s| a.contains(s)) && g.iter().any(|s| b.contains(s))
-            });
+            let straddler =
+                self.l2.groups.iter().position(|g| {
+                    g.iter().any(|s| a.contains(s)) && g.iter().any(|s| b.contains(s))
+                });
             let Some(gi) = straddler else { break };
             let g = self.l2.groups[gi].clone();
-            let (ga, gb): (Vec<usize>, Vec<usize>) =
-                g.iter().partition(|s| a.contains(s));
+            let (ga, gb): (Vec<usize>, Vec<usize>) = g.iter().partition(|s| a.contains(s));
             self.l2.groups[gi] = ga;
             self.l2.groups.push(gb);
             sort_groups(&mut self.l2.groups);
@@ -858,7 +925,7 @@ mod tests {
     }
 
     fn fresh(n: usize) -> MorphEngine {
-        MorphEngine::new(n, (0..n).collect(), cfg())
+        MorphEngine::new(n, (0..n).collect(), cfg()).unwrap()
     }
 
     #[test]
@@ -869,7 +936,7 @@ mod tests {
             fill(&mut e, CacheLevelId::L2, s, s, 0.40);
             fill(&mut e, CacheLevelId::L3, s, s, 0.40);
         }
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.events.is_empty());
         assert_eq!(out.l2_groups.len(), 4);
         assert_eq!(out.l3_groups.len(), 4);
@@ -886,9 +953,17 @@ mod tests {
             fill(&mut e, CacheLevelId::L2, s, s, 0.40);
             fill(&mut e, CacheLevelId::L3, s, s, 0.40);
         }
-        let out = e.reconfigure(0);
-        assert!(out.l3_groups.contains(&vec![0, 1]), "L3 {:?}", out.l3_groups);
-        assert!(out.l2_groups.contains(&vec![0, 1]), "L2 {:?}", out.l2_groups);
+        let out = e.reconfigure(0).unwrap();
+        assert!(
+            out.l3_groups.contains(&vec![0, 1]),
+            "L3 {:?}",
+            out.l3_groups
+        );
+        assert!(
+            out.l2_groups.contains(&vec![0, 1]),
+            "L2 {:?}",
+            out.l2_groups
+        );
         assert!(out.events.iter().any(|ev| ev.kind == ReconfigKind::Merge));
         // {2,3} untouched.
         assert!(out.l2_groups.contains(&vec![2]));
@@ -905,10 +980,18 @@ mod tests {
         }
         fill(&mut e, CacheLevelId::L2, 2, 2, 0.40);
         fill(&mut e, CacheLevelId::L2, 3, 3, 0.40);
-        let out = e.reconfigure(0);
-        assert!(out.l2_groups.contains(&vec![0, 1]), "L2 {:?}", out.l2_groups);
+        let out = e.reconfigure(0).unwrap();
+        assert!(
+            out.l2_groups.contains(&vec![0, 1]),
+            "L2 {:?}",
+            out.l2_groups
+        );
         // Inclusion safety: the covering L3 pair merged too.
-        assert!(out.l3_groups.contains(&vec![0, 1]), "L3 {:?}", out.l3_groups);
+        assert!(
+            out.l3_groups.contains(&vec![0, 1]),
+            "L3 {:?}",
+            out.l3_groups
+        );
         assert!(crate::topology::refines(&out.l2_groups, &out.l3_groups));
     }
 
@@ -927,7 +1010,7 @@ mod tests {
         fill(&mut e, CacheLevelId::L2, 3, 3, 0.40);
         fill(&mut e, CacheLevelId::L3, 2, 2, 0.40);
         fill(&mut e, CacheLevelId::L3, 3, 3, 0.40);
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.l2_groups.contains(&vec![0]), "{:?}", out.l2_groups);
         assert!(out.l2_groups.contains(&vec![1]));
     }
@@ -936,7 +1019,7 @@ mod tests {
     fn both_high_with_sharing_merges() {
         // Cores 0 and 1 run threads of the same app touching the same
         // lines.
-        let mut e = MorphEngine::new(4, vec![7, 7, 8, 9], cfg());
+        let mut e = MorphEngine::new(4, vec![7, 7, 8, 9], cfg()).unwrap();
         let bits = e.config().acfv_bits;
         for i in 0..((0.9 * bits as f64) as u64) {
             let line = i * 8191;
@@ -945,7 +1028,7 @@ mod tests {
             e.on_inserted(CacheLevelId::L3, 0, 0, line);
             e.on_inserted(CacheLevelId::L3, 1, 1, line);
         }
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.l2_groups.contains(&vec![0, 1]), "{:?}", out.l2_groups);
     }
 
@@ -955,14 +1038,14 @@ mod tests {
         // Round 1: force a merge via high/low.
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.l2_groups.contains(&vec![0, 1]), "{:?}", out.l2_groups);
         // Round 2: both halves now idle -> split back (L2 first, then L3).
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.05);
         fill(&mut e, CacheLevelId::L2, 1, 1, 0.05);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.05);
         fill(&mut e, CacheLevelId::L3, 1, 1, 0.05);
-        let out2 = e.reconfigure(1);
+        let out2 = e.reconfigure(1).unwrap();
         assert!(out2.l2_groups.contains(&vec![0]), "{:?}", out2.l2_groups);
         assert!(out2.l3_groups.contains(&vec![0]), "{:?}", out2.l3_groups);
         assert!(out2.events.iter().any(|ev| ev.kind == ReconfigKind::Split));
@@ -974,7 +1057,7 @@ mod tests {
         // Merge both levels for {0,1} with a strong joint signal.
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
-        e.reconfigure(0);
+        e.reconfigure(0).unwrap();
         assert!(e.l2_groups().contains(&vec![0, 1]));
         // Now: L3 halves look idle (want split) but L2 halves look busy
         // enough to stay merged (one high one low keeps the L2 merged —
@@ -983,7 +1066,7 @@ mod tests {
         fill(&mut e, CacheLevelId::L2, 1, 1, 0.05);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.05);
         fill(&mut e, CacheLevelId::L3, 1, 1, 0.05);
-        let out = e.reconfigure(1);
+        let out = e.reconfigure(1).unwrap();
         // L2 still merged; therefore L3 must remain merged (inclusion).
         assert!(out.l2_groups.contains(&vec![0, 1]), "{:?}", out.l2_groups);
         assert!(out.l3_groups.contains(&vec![0, 1]), "{:?}", out.l3_groups);
@@ -998,7 +1081,7 @@ mod tests {
         fill(&mut e, CacheLevelId::L2, 2, 2, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 2, 2, 0.9);
-        let out1 = e.reconfigure(0);
+        let out1 = e.reconfigure(0).unwrap();
         assert!(out1.l2_groups.contains(&vec![0, 1]));
         assert!(out1.l2_groups.contains(&vec![2, 3]));
         // Round 2 (Fig. 6): first pair both-high, second pair both-low.
@@ -1012,20 +1095,24 @@ mod tests {
             fill(&mut e, CacheLevelId::L2, s, s, 0.02);
             fill(&mut e, CacheLevelId::L3, s, s, 0.02);
         }
-        let out2 = e.reconfigure(1);
-        assert!(out2.l2_groups.contains(&vec![0, 1, 2, 3]), "{:?}", out2.l2_groups);
+        let out2 = e.reconfigure(1).unwrap();
+        assert!(
+            out2.l2_groups.contains(&vec![0, 1, 2, 3]),
+            "{:?}",
+            out2.l2_groups
+        );
     }
 
     #[test]
     fn fig6_conflict_split_aggressive_splits() {
         let mut c = cfg();
         c.policy = ConflictPolicy::SplitAggressive;
-        let mut e = MorphEngine::new(4, (0..4).collect(), c);
+        let mut e = MorphEngine::new(4, (0..4).collect(), c).unwrap();
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L2, 2, 2, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 2, 2, 0.9);
-        e.reconfigure(0);
+        e.reconfigure(0).unwrap();
         // Same Fig. 6 state; split-aggressive performs the splits first.
         for s in [0usize, 1] {
             fill(&mut e, CacheLevelId::L2, s, s, 0.95);
@@ -1035,7 +1122,7 @@ mod tests {
             fill(&mut e, CacheLevelId::L2, s, s, 0.02);
             fill(&mut e, CacheLevelId::L3, s, s, 0.02);
         }
-        let out = e.reconfigure(1);
+        let out = e.reconfigure(1).unwrap();
         // Split-aggressive performs the idle pair's split first, so the
         // quad merge of the merge-aggressive policy never happens: {2,3}
         // fall apart, and {0,1} (pressed) stays merged.
@@ -1053,7 +1140,7 @@ mod tests {
             fill(&mut e, CacheLevelId::L2, s, s, 0.40);
             fill(&mut e, CacheLevelId::L3, s, s, 0.40);
         }
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         // {0,1} merged, everything else private: asymmetric.
         assert!(out.asymmetric);
         assert!(out.events.iter().all(|ev| ev.asymmetric_after));
@@ -1073,12 +1160,15 @@ mod tests {
         fill(&mut e, CacheLevelId::L2, 3, 3, 0.40);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.40);
         fill(&mut e, CacheLevelId::L3, 3, 3, 0.40);
-        let out = e.reconfigure(0);
-        assert!(!out.l2_groups.iter().any(|g| g.contains(&1) && g.contains(&2)));
+        let out = e.reconfigure(0).unwrap();
+        assert!(!out
+            .l2_groups
+            .iter()
+            .any(|g| g.contains(&1) && g.contains(&2)));
         // In arbitrary-contiguous mode the same signal merges {1,2}.
         let mut c = cfg();
         c.grouping = GroupingMode::ArbitraryContiguous;
-        let mut e2 = MorphEngine::new(4, (0..4).collect(), c);
+        let mut e2 = MorphEngine::new(4, (0..4).collect(), c).unwrap();
         fill(&mut e2, CacheLevelId::L2, 1, 1, 0.9);
         fill(&mut e2, CacheLevelId::L2, 2, 2, 0.05);
         fill(&mut e2, CacheLevelId::L3, 1, 1, 0.9);
@@ -1087,15 +1177,21 @@ mod tests {
         fill(&mut e2, CacheLevelId::L2, 3, 3, 0.40);
         fill(&mut e2, CacheLevelId::L3, 0, 0, 0.40);
         fill(&mut e2, CacheLevelId::L3, 3, 3, 0.40);
-        let out2 = e2.reconfigure(0);
-        assert!(out2.l3_groups.iter().any(|g| g.contains(&1) && g.contains(&2)), "{:?}", out2.l3_groups);
+        let out2 = e2.reconfigure(0).unwrap();
+        assert!(
+            out2.l3_groups
+                .iter()
+                .any(|g| g.contains(&1) && g.contains(&2)),
+            "{:?}",
+            out2.l3_groups
+        );
     }
 
     #[test]
     fn non_neighbor_mode_merges_distant_slices() {
         let mut c = cfg();
         c.grouping = GroupingMode::NonNeighbor;
-        let mut e = MorphEngine::new(4, (0..4).collect(), c);
+        let mut e = MorphEngine::new(4, (0..4).collect(), c).unwrap();
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L2, 3, 3, 0.05);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
@@ -1104,19 +1200,26 @@ mod tests {
         fill(&mut e, CacheLevelId::L2, 2, 2, 0.40);
         fill(&mut e, CacheLevelId::L3, 1, 1, 0.40);
         fill(&mut e, CacheLevelId::L3, 2, 2, 0.40);
-        let out = e.reconfigure(0);
-        assert!(out.l3_groups.iter().any(|g| g.contains(&0) && g.contains(&3)), "{:?}", out.l3_groups);
+        let out = e.reconfigure(0).unwrap();
+        assert!(
+            out.l3_groups
+                .iter()
+                .any(|g| g.contains(&0) && g.contains(&3)),
+            "{:?}",
+            out.l3_groups
+        );
     }
 
     #[test]
     fn qos_throttles_msat_after_harmful_merge() {
-        let mut e = MorphEngine::new(4, (0..4).collect(), MorphConfig { qos: true, ..cfg() });
+        let mut e =
+            MorphEngine::new(4, (0..4).collect(), MorphConfig { qos: true, ..cfg() }).unwrap();
         let h0 = e.config().msat.high();
         // Round 1 with a merge.
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
         e.note_epoch_misses(&[100, 100, 100, 100]);
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.events.iter().any(|ev| ev.kind == ReconfigKind::Merge));
         // Misses grew sharply for core 1 after the merge: throttle up.
         e.note_epoch_misses(&[100, 400, 100, 100]);
@@ -1132,7 +1235,7 @@ mod tests {
         let mut e = fresh(4);
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
-        e.reconfigure(0);
+        e.reconfigure(0).unwrap();
         assert!(!e.event_log().is_empty());
     }
 
@@ -1141,7 +1244,7 @@ mod tests {
         let mut e = fresh(4);
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
-        e.reconfigure(0);
+        e.reconfigure(0).unwrap();
         // With no new events, utilization is zero everywhere.
         assert_eq!(e.group_utilization(CacheLevelId::L2, 0), 0.0);
     }
@@ -1150,7 +1253,7 @@ mod tests {
     fn sharing_merge_fires_for_moderate_replicated_pairs() {
         // Threads of one app with replicated footprints measure only Mid
         // per slice; the sharing rule must still merge them.
-        let mut e = MorphEngine::new(4, vec![7, 7, 8, 9], cfg());
+        let mut e = MorphEngine::new(4, vec![7, 7, 8, 9], cfg()).unwrap();
         let bits = e.config().acfv_bits;
         for i in 0..((0.42 * bits as f64) as u64) {
             let line = i * 8191;
@@ -1159,7 +1262,7 @@ mod tests {
             e.on_touched(CacheLevelId::L3, 0, 0, line);
             e.on_touched(CacheLevelId::L3, 1, 1, line);
         }
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.l2_groups.contains(&vec![0, 1]), "{:?}", out.l2_groups);
     }
 
@@ -1169,16 +1272,16 @@ mod tests {
         e.note_epoch_perf(&[1.0, 1.0, 1.0, 1.0]);
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(out.l3_groups.contains(&vec![0, 1]), "{:?}", out.l3_groups);
         // The merged pair's cores got much slower -> the L2 merge reverts
         // first (the L3 revert is inclusion-blocked while L2 straddles),
         // then the L3 merge reverts the round after.
         e.note_epoch_perf(&[0.4, 0.4, 1.0, 1.0]);
-        let out2 = e.reconfigure(1);
+        let out2 = e.reconfigure(1).unwrap();
         assert!(out2.l2_groups.contains(&vec![0]), "{:?}", out2.l2_groups);
         e.note_epoch_perf(&[0.4, 0.4, 1.0, 1.0]);
-        let out3 = e.reconfigure(2);
+        let out3 = e.reconfigure(2).unwrap();
         assert!(out3.l3_groups.contains(&vec![0]), "{:?}", out3.l3_groups);
         assert!(out3.l3_groups.contains(&vec![1]), "{:?}", out3.l3_groups);
         // And the pair is blacklisted: the same footprint signal does not
@@ -1186,7 +1289,7 @@ mod tests {
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
         e.note_epoch_perf(&[1.0, 1.0, 1.0, 1.0]);
-        let out4 = e.reconfigure(3);
+        let out4 = e.reconfigure(3).unwrap();
         assert!(
             !out4.l2_groups.iter().any(|g| g.len() > 1),
             "blacklisted pair must not re-merge: {:?}",
@@ -1200,7 +1303,7 @@ mod tests {
         e.note_epoch_perf(&[1.0, 1.0, 1.0, 1.0]);
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.9);
         fill(&mut e, CacheLevelId::L3, 0, 0, 0.9);
-        e.reconfigure(0);
+        e.reconfigure(0).unwrap();
         e.note_epoch_perf(&[1.4, 1.1, 1.0, 1.0]);
         // Keep the group moderately busy so the idle-split rule stays out
         // of the picture.
@@ -1208,7 +1311,7 @@ mod tests {
         fill(&mut e, CacheLevelId::L3, 1, 1, 0.40);
         fill(&mut e, CacheLevelId::L2, 0, 0, 0.45);
         fill(&mut e, CacheLevelId::L2, 1, 1, 0.40);
-        let out = e.reconfigure(1);
+        let out = e.reconfigure(1).unwrap();
         assert!(out.l3_groups.contains(&vec![0, 1]), "{:?}", out.l3_groups);
     }
 
@@ -1223,9 +1326,11 @@ mod tests {
             // Never-touched lines evicted: dead churn only.
             e.on_evicted(CacheLevelId::L3, 1, 1, 1_000_000 + i * 13);
         }
-        let out = e.reconfigure(0);
+        let out = e.reconfigure(0).unwrap();
         assert!(
-            !out.l3_groups.iter().any(|g| g.contains(&0) && g.contains(&1)),
+            !out.l3_groups
+                .iter()
+                .any(|g| g.contains(&0) && g.contains(&1)),
             "must not pool with a polluter: {:?}",
             out.l3_groups
         );
@@ -1258,6 +1363,6 @@ mod tests {
         assert!(!buddy_siblings(&[0, 1], &[4, 5]), "not adjacent");
         assert!(!buddy_siblings(&[0], &[1, 2]), "size mismatch");
         assert!(buddy_siblings(&[0, 1, 2, 3], &[4, 5, 6, 7]));
-        assert!(!buddy_siblings(&[4, 5, 6, 7], &[8, 9, 10, 11]) || true);
+        let _ = buddy_siblings(&[4, 5, 6, 7], &[8, 9, 10, 11]); // out-of-range ids must not panic
     }
 }

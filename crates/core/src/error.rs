@@ -1,0 +1,151 @@
+//! Workspace-level typed errors.
+//!
+//! Every public driver API (engine construction, system simulation,
+//! experiment runners) reports failures through [`MorphError`] instead of
+//! panicking: a malformed configuration, an unsafe topology transition,
+//! an unparseable fault spec, or a forward-progress stall all surface as
+//! descriptive variants the caller can match on. Inner hot-loop
+//! `debug_assert!`s remain — they check simulator invariants, not inputs.
+
+use crate::engine::ReconfigOutcome;
+use std::fmt;
+
+/// What the watchdog saw when it declared a stall (see
+/// [`MorphError::Stalled`]). Carries enough state to diagnose MSHR
+/// leaks, arbiter starvation, and reconfiguration livelock post-mortem.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StallDiagnostic {
+    /// Instructions the offending core retired in the stalled window.
+    pub retired: u64,
+    /// Cycles the window spanned.
+    pub cycles: u64,
+    /// Outstanding MSHR entries per core at detection time.
+    pub mshr_outstanding: Vec<usize>,
+    /// Pending bus-grant backlog per core at detection time.
+    pub bus_pending: Vec<usize>,
+    /// The engine's last reconfiguration outcome, if one happened.
+    pub last_reconfig: Option<ReconfigOutcome>,
+}
+
+impl fmt::Display for StallDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "retired {} insns over {} cycles; mshr outstanding {:?}; bus pending {:?}; last reconfig: {}",
+            self.retired,
+            self.cycles,
+            self.mshr_outstanding,
+            self.bus_pending,
+            match &self.last_reconfig {
+                Some(o) => format!("{} L2 / {} L3 groups", o.l2_groups.len(), o.l3_groups.len()),
+                None => "none".into(),
+            }
+        )
+    }
+}
+
+/// Unified error type for the MorphCache workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MorphError {
+    /// A single configuration field violates its constraint.
+    InvalidConfig {
+        /// Which field (e.g. `"epoch_cycles"`).
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// Human-readable constraint (e.g. `"must be a power of two"`).
+        constraint: &'static str,
+    },
+    /// Two configuration quantities that must agree do not.
+    Mismatch {
+        /// What disagrees (e.g. `"app ids vs cores"`).
+        what: &'static str,
+        /// Left-hand count.
+        left: usize,
+        /// Right-hand count.
+        right: usize,
+    },
+    /// A static topology is malformed or does not cover the machine.
+    Topology(String),
+    /// A slice grouping is not a valid partition / breaks inclusion and
+    /// could not be repaired.
+    Grouping(String),
+    /// A workload specification could not be resolved.
+    Workload(String),
+    /// A `--faults` specification string could not be parsed.
+    FaultSpec(String),
+    /// The forward-progress watchdog detected a no-retirement window.
+    Stalled {
+        /// Epoch in which the stall was detected.
+        epoch: u64,
+        /// Core that failed to make progress.
+        core: usize,
+        /// Snapshot of queue/MSHR state for post-mortem debugging.
+        diagnostic: Box<StallDiagnostic>,
+    },
+}
+
+impl fmt::Display for MorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphError::InvalidConfig {
+                field,
+                value,
+                constraint,
+            } => {
+                write!(f, "invalid config: {field} = {value} ({constraint})")
+            }
+            MorphError::Mismatch { what, left, right } => {
+                write!(f, "mismatched config: {what} ({left} vs {right})")
+            }
+            MorphError::Topology(msg) => write!(f, "invalid topology: {msg}"),
+            MorphError::Grouping(msg) => write!(f, "invalid grouping: {msg}"),
+            MorphError::Workload(msg) => write!(f, "invalid workload: {msg}"),
+            MorphError::FaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            MorphError::Stalled {
+                epoch,
+                core,
+                diagnostic,
+            } => {
+                write!(
+                    f,
+                    "forward progress stalled at epoch {epoch} on core {core}: {diagnostic}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MorphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = MorphError::InvalidConfig {
+            field: "epoch_cycles",
+            value: 0,
+            constraint: "must be positive",
+        };
+        assert!(e.to_string().contains("epoch_cycles"));
+        assert!(e.to_string().contains("must be positive"));
+
+        let s = MorphError::Stalled {
+            epoch: 3,
+            core: 1,
+            diagnostic: Box::new(StallDiagnostic {
+                retired: 2,
+                cycles: 400_000,
+                mshr_outstanding: vec![0, 16],
+                bus_pending: vec![0, 0],
+                last_reconfig: None,
+            }),
+        };
+        let msg = s.to_string();
+        assert!(msg.contains("epoch 3"));
+        assert!(msg.contains("core 1"));
+        assert!(msg.contains("[0, 16]"));
+    }
+}

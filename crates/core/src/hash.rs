@@ -30,7 +30,10 @@ impl HashKind {
     /// Panics if `bits` is zero or not a power of two (ACFV lengths are
     /// powers of two: 2–512 in the Fig. 5 sweep).
     pub fn index(self, tag: u64, bits: usize) -> usize {
-        assert!(bits.is_power_of_two() && bits > 0, "ACFV length must be a power of two");
+        assert!(
+            bits.is_power_of_two() && bits > 0,
+            "ACFV length must be a power of two"
+        );
         match self {
             HashKind::Xor => {
                 let w = bits.trailing_zeros().max(1);
@@ -77,7 +80,10 @@ mod tests {
         let bits = 64;
         let a = 0x0000_0000_0000_0010u64;
         let b = 0x0001_0000_0000_0010u64;
-        assert_eq!(HashKind::Modulo.index(a, bits), HashKind::Modulo.index(b, bits));
+        assert_eq!(
+            HashKind::Modulo.index(a, bits),
+            HashKind::Modulo.index(b, bits)
+        );
         assert_ne!(HashKind::Xor.index(a, bits), HashKind::Xor.index(b, bits));
     }
 
@@ -86,11 +92,13 @@ mod tests {
         // Strided tags (stride = bits) all collide under modulo; XOR
         // folding spreads them across many indices.
         let bits = 128;
-        let idxs: std::collections::HashSet<usize> =
-            (0..64u64).map(|i| HashKind::Xor.index(i * bits as u64, bits)).collect();
+        let idxs: std::collections::HashSet<usize> = (0..64u64)
+            .map(|i| HashKind::Xor.index(i * bits as u64, bits))
+            .collect();
         assert!(idxs.len() > 16, "XOR spread only {} indices", idxs.len());
-        let m: std::collections::HashSet<usize> =
-            (0..64u64).map(|i| HashKind::Modulo.index(i * bits as u64, bits)).collect();
+        let m: std::collections::HashSet<usize> = (0..64u64)
+            .map(|i| HashKind::Modulo.index(i * bits as u64, bits))
+            .collect();
         assert_eq!(m.len(), 1);
     }
 
@@ -101,16 +109,24 @@ mod tests {
         // occupancy-model expectation, unlike XOR folding.
         let bits = 256;
         for stride in [7u64, 16, 8191, 1 << 20] {
-            let set: std::collections::HashSet<usize> =
-                (0..128u64).map(|i| HashKind::Mix.index(i * stride, bits)).collect();
+            let set: std::collections::HashSet<usize> = (0..128u64)
+                .map(|i| HashKind::Mix.index(i * stride, bits))
+                .collect();
             // Expected distinct ≈ 256(1 - e^{-0.5}) ≈ 100.7.
-            assert!(set.len() > 80 && set.len() <= 128, "stride {stride}: {}", set.len());
+            assert!(
+                set.len() > 80 && set.len() <= 128,
+                "stride {stride}: {}",
+                set.len()
+            );
         }
     }
 
     #[test]
     fn deterministic() {
-        assert_eq!(HashKind::Xor.index(12345, 128), HashKind::Xor.index(12345, 128));
+        assert_eq!(
+            HashKind::Xor.index(12345, 128),
+            HashKind::Xor.index(12345, 128)
+        );
     }
 
     #[test]

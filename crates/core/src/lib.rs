@@ -34,13 +34,14 @@
 //! use morphcache::{MorphConfig, MorphEngine, CacheLevelId};
 //!
 //! // 4 slices per level, one single-threaded app per core.
-//! let mut engine = MorphEngine::new(4, vec![0, 1, 2, 3], MorphConfig::paper());
+//! let mut engine =
+//!     MorphEngine::new(4, vec![0, 1, 2, 3], MorphConfig::paper()).expect("valid engine config");
 //! // Feed footprint events: core 0 inserts many lines, core 1 few.
 //! for line in 0..3000u64 {
 //!     engine.on_inserted(CacheLevelId::L2, 0, 0, line);
 //! }
 //! engine.on_inserted(CacheLevelId::L2, 1, 1, 1);
-//! let outcome = engine.reconfigure(1);
+//! let outcome = engine.reconfigure(1).expect("reconfiguration is safe");
 //! // Groupings remain valid partitions of the four slices.
 //! assert_eq!(outcome.l3_groups.iter().map(|g| g.len()).sum::<usize>(), 4);
 //! ```
@@ -48,15 +49,19 @@
 pub mod acfv;
 pub mod config;
 pub mod engine;
+pub mod error;
 pub mod hash;
 pub mod msat;
+pub mod rng;
 pub mod topology;
 
 pub use acfv::{Acfv, ExactFootprint};
 pub use config::{ConflictPolicy, GroupingMode, MorphConfig};
 pub use engine::{MorphEngine, ReconfigEvent, ReconfigKind, ReconfigOutcome};
+pub use error::{MorphError, StallDiagnostic};
 pub use hash::HashKind;
 pub use msat::{Msat, Utilization};
+pub use rng::Xoshiro256pp;
 pub use topology::SymmetricTopology;
 
 /// Which groupable cache level an event or decision concerns.

@@ -49,7 +49,10 @@ impl Msat {
     ///
     /// Panics unless `0 < low < high < 1`.
     pub fn new(high: f64, low: f64) -> Self {
-        assert!(0.0 < low && low < high && high < 1.0, "need 0 < low < high < 1");
+        assert!(
+            0.0 < low && low < high && high < 1.0,
+            "need 0 < low < high < 1"
+        );
         Self {
             high,
             low,

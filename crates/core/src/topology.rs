@@ -43,8 +43,7 @@ impl SymmetricTopology {
         if parts.len() != 3 {
             return Err(format!("expected x:y:z, got {s:?}"));
         }
-        let nums: Result<Vec<usize>, _> =
-            parts.iter().map(|p| p.trim().parse::<usize>()).collect();
+        let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.trim().parse::<usize>()).collect();
         let nums = nums.map_err(|e| format!("bad component in {s:?}: {e}"))?;
         Self::new(nums[0], nums[1], nums[2], n)
     }
@@ -82,7 +81,10 @@ impl std::fmt::Display for SymmetricTopology {
 
 /// Contiguous groups of `size` slices covering `0..n`.
 pub fn contiguous_groups(n: usize, size: usize) -> Vec<Vec<usize>> {
-    (0..n).step_by(size).map(|s| (s..s + size).collect()).collect()
+    (0..n)
+        .step_by(size)
+        .map(|s| (s..s + size).collect())
+        .collect()
 }
 
 /// True if `groups` is a partition of `0..n`.
@@ -127,8 +129,7 @@ pub fn meet(a: &[Vec<usize>], b: &[Vec<usize>]) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     for ga in a {
         for gb in b {
-            let mut inter: Vec<usize> =
-                ga.iter().copied().filter(|s| gb.contains(s)).collect();
+            let mut inter: Vec<usize> = ga.iter().copied().filter(|s| gb.contains(s)).collect();
             if !inter.is_empty() {
                 inter.sort_unstable();
                 out.push(inter);
@@ -209,7 +210,7 @@ mod tests {
         assert!(is_partition(&a, 8));
         assert!(!is_partition(&a, 9));
         assert!(!is_partition(&[vec![0], vec![0, 1]], 2));
-        assert!(!is_partition(&[vec![]], 0) || true);
+        let _ = is_partition(&[vec![]], 0); // degenerate input must not panic
         let coarse = contiguous_groups(8, 4);
         assert!(refines(&a, &coarse));
         assert!(!refines(&coarse, &a));

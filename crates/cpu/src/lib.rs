@@ -59,7 +59,11 @@ impl CoreParams {
     /// The paper's configuration: 4-way issue, 3-cycle L1, and a modest
     /// MLP factor consistent with an 8-entry MSHR file.
     pub fn paper() -> Self {
-        Self { issue_width: 4.0, l1_latency: 3.0, mlp: 1.3 }
+        Self {
+            issue_width: 4.0,
+            l1_latency: 3.0,
+            mlp: 1.3,
+        }
     }
 }
 
@@ -106,7 +110,15 @@ pub struct Core {
 impl Core {
     /// Creates core `id` with the given parameters.
     pub fn new(id: CoreId, params: CoreParams) -> Self {
-        Self { id, params, cycles: 0.0, instructions: 0, insn_frac: 0.0, mark_cycles: 0.0, mark_instructions: 0 }
+        Self {
+            id,
+            params,
+            cycles: 0.0,
+            instructions: 0,
+            insn_frac: 0.0,
+            mark_cycles: 0.0,
+            mark_instructions: 0,
+        }
     }
 
     /// This core's identifier.
@@ -184,7 +196,9 @@ impl QuantumScheduler {
     /// Panics if `quantum` is not positive.
     pub fn new(quantum: u64) -> Self {
         assert!(quantum > 0, "quantum must be positive");
-        Self { quantum: quantum as f64 }
+        Self {
+            quantum: quantum as f64,
+        }
     }
 
     /// Runs every core for `epoch_cycles` additional cycles, interleaved in
@@ -284,8 +298,7 @@ mod tests {
     fn scheduler_advances_all_cores_evenly() {
         let mut mem = Hierarchy::new(HierarchyParams::scaled_down(4));
         let mut cores: Vec<Core> = (0..4).map(|i| Core::new(i, CoreParams::paper())).collect();
-        let mut streams: Vec<SyntheticStream> =
-            (0..4).map(|i| stream(i, "gcc")).collect();
+        let mut streams: Vec<SyntheticStream> = (0..4).map(|i| stream(i, "gcc")).collect();
         let mut sink = NoopSink;
         QuantumScheduler::new(500).run_epoch(&mut cores, &mut streams, &mut mem, &mut sink, 20_000);
         for c in &cores {
@@ -297,8 +310,14 @@ mod tests {
 
     #[test]
     fn mlp_discounts_memory_stalls() {
-        let fast = CoreParams { mlp: 4.0, ..CoreParams::paper() };
-        let slow = CoreParams { mlp: 1.0, ..CoreParams::paper() };
+        let fast = CoreParams {
+            mlp: 4.0,
+            ..CoreParams::paper()
+        };
+        let slow = CoreParams {
+            mlp: 1.0,
+            ..CoreParams::paper()
+        };
         let run = |p: CoreParams| {
             let mut mem = Hierarchy::new(HierarchyParams::scaled_down(1));
             let mut core = Core::new(0, p);

@@ -96,12 +96,20 @@ impl ArbiterTree {
     ///
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "leaf count must be a power of two");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "leaf count must be a power of two"
+        );
         let levels = n.trailing_zeros() as usize;
         let arbiters = (0..levels)
             .map(|l| vec![RoundRobinArbiter::new(); n >> (l + 1)])
             .collect();
-        Self { n, levels, arbiters, active_levels: vec![0; n] }
+        Self {
+            n,
+            levels,
+            arbiters,
+            active_levels: vec![0; n],
+        }
     }
 
     /// Number of leaves.
@@ -132,7 +140,9 @@ impl ArbiterTree {
             }
             let first = *g.iter().min().ok_or("empty group")?;
             if first % len != 0 {
-                return Err(format!("group starting at {first} of size {len} is not aligned"));
+                return Err(format!(
+                    "group starting at {first} of size {len} is not aligned"
+                ));
             }
             for (i, &leaf) in g.iter().enumerate() {
                 if leaf >= self.n {
@@ -281,7 +291,8 @@ mod tests {
     #[test]
     fn tree_grants_one_winner_per_group() {
         let mut t = ArbiterTree::new(8);
-        t.configure_groups(&[vec![0, 1, 2, 3], vec![4, 5], vec![6, 7]]).unwrap();
+        t.configure_groups(&[vec![0, 1, 2, 3], vec![4, 5], vec![6, 7]])
+            .unwrap();
         let acq = t.cycle(&[true, true, true, true, true, true, true, true]);
         // One winner in [0..4), one in [4..6), one in [6..8).
         assert_eq!(acq[0..4].iter().filter(|&&b| b).count(), 1);
@@ -292,7 +303,8 @@ mod tests {
     #[test]
     fn private_leaves_granted_unconditionally_none() {
         let mut t = ArbiterTree::new(4);
-        t.configure_groups(&[vec![0], vec![1], vec![2], vec![3]]).unwrap();
+        t.configure_groups(&[vec![0], vec![1], vec![2], vec![3]])
+            .unwrap();
         // Private slices never assert bus requests in practice; if they do,
         // no shared grant path exists, and the leaf wins trivially (all of
         // zero levels grant).
@@ -324,7 +336,8 @@ mod tests {
     #[test]
     fn disjoint_groups_do_not_interfere() {
         let mut t = ArbiterTree::new(8);
-        t.configure_groups(&[vec![0, 1], vec![2, 3], vec![4, 5, 6, 7]]).unwrap();
+        t.configure_groups(&[vec![0, 1], vec![2, 3], vec![4, 5, 6, 7]])
+            .unwrap();
         // Requests in groups {0,1} and {4..8} only.
         let acq = t.cycle(&[true, false, false, false, false, true, false, false]);
         assert!(acq[0], "leaf 0 uncontested in its group");
@@ -334,9 +347,14 @@ mod tests {
     #[test]
     fn misaligned_groups_rejected() {
         let mut t = ArbiterTree::new(8);
-        assert!(t.configure_groups(&[vec![1, 2], vec![0], vec![3, 4, 5, 6, 7]]).is_err());
+        assert!(t
+            .configure_groups(&[vec![1, 2], vec![0], vec![3, 4, 5, 6, 7]])
+            .is_err());
         assert!(t.configure_groups(&[vec![0, 1, 2]]).is_err());
-        assert!(t.configure_groups(&[vec![0, 1]]).is_err(), "must cover all leaves");
+        assert!(
+            t.configure_groups(&[vec![0, 1]]).is_err(),
+            "must cover all leaves"
+        );
     }
 
     #[test]

@@ -144,8 +144,7 @@ impl SegmentedBus {
                 continue;
             }
             // Round-robin scan starting after the last winner.
-            let members: Vec<usize> =
-                (0..self.n).filter(|&c| self.segment_of[c] == seg).collect();
+            let members: Vec<usize> = (0..self.n).filter(|&c| self.segment_of[c] == seg).collect();
             if members.is_empty() {
                 continue;
             }
@@ -154,11 +153,16 @@ impl SegmentedBus {
                 .map(|i| members[(start + i) % members.len()])
                 .find(|&c| self.pending[c].is_some());
             if let Some(c) = winner {
-                let issued = self.pending[c].take().expect("winner had a pending request");
+                let issued = self.pending[c]
+                    .take()
+                    .expect("winner had a pending request");
                 self.stats.transactions += 1;
                 self.stats.wait_cycles += self.now - issued;
                 self.busy_until[seg] = self.now + TRANSACTION_CYCLES;
-                let pos = members.iter().position(|&m| m == c).expect("winner is a member");
+                let pos = members
+                    .iter()
+                    .position(|&m| m == c)
+                    .expect("winner is a member");
                 self.rr[seg] = pos + 1;
                 granted.push(c);
             }
@@ -219,12 +223,17 @@ mod tests {
     #[test]
     fn isolated_segments_run_in_parallel() {
         let mut bus = SegmentedBus::new(8);
-        bus.configure(&[vec![0, 1, 2, 3], vec![4, 5], vec![6, 7]]).unwrap();
+        bus.configure(&[vec![0, 1, 2, 3], vec![4, 5], vec![6, 7]])
+            .unwrap();
         bus.request(1);
         bus.request(4);
         bus.request(7);
         let granted = bus.cycle();
-        assert_eq!(granted.len(), 3, "three isolated segments grant simultaneously");
+        assert_eq!(
+            granted.len(),
+            3,
+            "three isolated segments grant simultaneously"
+        );
     }
 
     #[test]
@@ -268,11 +277,23 @@ mod tests {
     #[test]
     fn reconfigure_validates() {
         let mut bus = SegmentedBus::new(4);
-        assert!(bus.configure(&[vec![0, 2], vec![1, 3]]).is_err(), "non-contiguous");
-        assert!(bus.configure(&[vec![0, 1], vec![1, 2, 3]]).is_err(), "overlap");
+        assert!(
+            bus.configure(&[vec![0, 2], vec![1, 3]]).is_err(),
+            "non-contiguous"
+        );
+        assert!(
+            bus.configure(&[vec![0, 1], vec![1, 2, 3]]).is_err(),
+            "overlap"
+        );
         assert!(bus.configure(&[vec![0, 1]]).is_err(), "uncovered");
-        assert!(bus.configure(&[vec![0, 1], vec![2, 3, 9]]).is_err(), "out of range");
-        assert!(bus.configure(&[vec![0, 1, 2], vec![3]]).is_ok(), "non-power-of-two ok (§5.5)");
+        assert!(
+            bus.configure(&[vec![0, 1], vec![2, 3, 9]]).is_err(),
+            "out of range"
+        );
+        assert!(
+            bus.configure(&[vec![0, 1, 2], vec![3]]).is_ok(),
+            "non-power-of-two ok (§5.5)"
+        );
     }
 
     #[test]
@@ -294,7 +315,11 @@ mod tests {
         bus.request(3);
         bus.configure(&[vec![0, 1], vec![2, 3]]).unwrap();
         let granted = bus.cycle();
-        assert_eq!(granted.len(), 2, "both pending requests grant in parallel segments");
+        assert_eq!(
+            granted.len(),
+            2,
+            "both pending requests grant in parallel segments"
+        );
     }
 
     #[test]

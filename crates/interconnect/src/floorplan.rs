@@ -83,7 +83,11 @@ impl Floorplan {
     /// Positions of the 8 L2 slices along one side of the chip
     /// (`side = 0` left, `1` right).
     pub fn l2_slice_positions(&self, side: usize) -> Vec<(f64, f64)> {
-        let x = if side == 0 { self.left_col_x_mm } else { self.right_col_x_mm };
+        let x = if side == 0 {
+            self.left_col_x_mm
+        } else {
+            self.right_col_x_mm
+        };
         (0..8)
             .map(|i| (x, self.tile_pitch_mm / 2.0 + i as f64 * self.tile_pitch_mm))
             .collect()
@@ -132,7 +136,10 @@ impl ArbiterHierarchyModel {
     /// Panics if the number of leaves is not a power of two or is < 2.
     pub fn new(leaves: &[(f64, f64)], params: &SynthesisParams) -> Self {
         let n = leaves.len();
-        assert!(n.is_power_of_two() && n >= 2, "need a power-of-two leaf count >= 2");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "need a power-of-two leaf count >= 2"
+        );
         let levels = n.trailing_zeros() as usize;
         // Build arbiter positions level by level; track the worst
         // accumulated leaf-to-root wire length.
@@ -219,8 +226,16 @@ mod tests {
         let fp = Floorplan::paper();
         let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
         let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
-        assert!((l2.total_area_um2 - 160.5).abs() < 0.5, "L2 area {}", l2.total_area_um2);
-        assert!((l3.total_area_um2 - 343.9).abs() < 1.0, "L3 area {}", l3.total_area_um2);
+        assert!(
+            (l2.total_area_um2 - 160.5).abs() < 0.5,
+            "L2 area {}",
+            l2.total_area_um2
+        );
+        assert!(
+            (l3.total_area_um2 - 343.9).abs() < 1.0,
+            "L3 area {}",
+            l3.total_area_um2
+        );
     }
 
     #[test]
@@ -243,8 +258,16 @@ mod tests {
         let fp = Floorplan::paper();
         let l2 = ArbiterHierarchyModel::new(&fp.l2_slice_positions(0), &p);
         let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
-        assert!((l2.request_wire_ns - 0.31).abs() / 0.31 < 0.35, "L2 wire {}", l2.request_wire_ns);
-        assert!((l3.request_wire_ns - 0.40).abs() / 0.40 < 0.35, "L3 wire {}", l3.request_wire_ns);
+        assert!(
+            (l2.request_wire_ns - 0.31).abs() / 0.31 < 0.35,
+            "L2 wire {}",
+            l2.request_wire_ns
+        );
+        assert!(
+            (l3.request_wire_ns - 0.40).abs() / 0.40 < 0.35,
+            "L3 wire {}",
+            l3.request_wire_ns
+        );
     }
 
     #[test]
@@ -262,7 +285,13 @@ mod tests {
 
     #[test]
     fn bus_overhead_is_15_core_cycles() {
-        assert_eq!(ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, false), 15);
-        assert_eq!(ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, true), 10);
+        assert_eq!(
+            ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, false),
+            15
+        );
+        assert_eq!(
+            ArbiterHierarchyModel::bus_overhead_core_cycles(5.0, 1.0, true),
+            10
+        );
     }
 }

@@ -14,7 +14,11 @@ pub fn throughput(ipcs: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn weighted_speedup(ipcs: &[f64], alone: &[f64]) -> f64 {
-    assert_eq!(ipcs.len(), alone.len(), "need one alone-IPC per application");
+    assert_eq!(
+        ipcs.len(),
+        alone.len(),
+        "need one alone-IPC per application"
+    );
     ipcs.iter()
         .zip(alone.iter())
         .filter(|&(_, &a)| a > 0.0)
@@ -31,7 +35,11 @@ pub fn weighted_speedup(ipcs: &[f64], alone: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn fair_speedup(ipcs: &[f64], alone: &[f64]) -> f64 {
-    assert_eq!(ipcs.len(), alone.len(), "need one alone-IPC per application");
+    assert_eq!(
+        ipcs.len(),
+        alone.len(),
+        "need one alone-IPC per application"
+    );
     let n = ipcs.len() as f64;
     let mut denom = 0.0;
     for (&i, &a) in ipcs.iter().zip(alone.iter()) {

@@ -2,6 +2,7 @@
 
 use morph_cache::HierarchyParams;
 use morph_cpu::CoreParams;
+use morphcache::MorphError;
 
 /// Everything needed to construct and drive one simulated run.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +88,46 @@ impl SystemConfig {
         self.epoch_cycles = cycles;
         self
     }
+
+    /// Rejects configurations the simulator cannot run: a zero-length
+    /// epoch, a zero or epoch-exceeding scheduler quantum, no measured
+    /// epochs, a core/slice count that is zero or not a power of two
+    /// (buddy merging needs power-of-two groups), or cache geometry whose
+    /// sets/ways/block size fail the power-of-two indexing invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::InvalidConfig`] naming the offending field
+    /// and the violated constraint.
+    pub fn validate(&self) -> Result<(), MorphError> {
+        let field = |field, value: u64, constraint| {
+            Err(MorphError::InvalidConfig {
+                field,
+                value,
+                constraint,
+            })
+        };
+        if self.epoch_cycles == 0 {
+            return field("epoch_cycles", 0, "must be nonzero");
+        }
+        if self.quantum == 0 {
+            return field("quantum", 0, "must be nonzero");
+        }
+        if self.quantum > self.epoch_cycles {
+            return field("quantum", self.quantum, "must not exceed epoch_cycles");
+        }
+        if self.n_epochs == 0 {
+            return field("n_epochs", 0, "must be nonzero");
+        }
+        let n = self.hierarchy.n_cores;
+        if n == 0 || !n.is_power_of_two() {
+            return field("n_cores", n as u64, "must be a nonzero power of two");
+        }
+        self.hierarchy.l1.validate("l1")?;
+        self.hierarchy.l2_slice.validate("l2_slice")?;
+        self.hierarchy.l3_slice.validate("l3_slice")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +149,31 @@ mod tests {
         let c = SystemConfig::quick_test(4).with_seed(9).with_epochs(3);
         assert_eq!(c.seed, 9);
         assert_eq!(c.n_epochs, 3);
+    }
+
+    #[test]
+    fn validate_accepts_stock_configs() {
+        assert!(SystemConfig::paper(16).validate().is_ok());
+        assert!(SystemConfig::quick_test(4).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_impossible_configs() {
+        let reject = |f: &dyn Fn(&mut SystemConfig), expect_field: &str| {
+            let mut c = SystemConfig::quick_test(4);
+            f(&mut c);
+            match c.validate() {
+                Err(MorphError::InvalidConfig { field, .. }) => {
+                    assert_eq!(field, expect_field);
+                }
+                other => panic!("expected InvalidConfig({expect_field}), got {other:?}"),
+            }
+        };
+        reject(&|c| c.epoch_cycles = 0, "epoch_cycles");
+        reject(&|c| c.quantum = 0, "quantum");
+        reject(&|c| c.quantum = c.epoch_cycles + 1, "quantum");
+        reject(&|c| c.n_epochs = 0, "n_epochs");
+        reject(&|c| c.hierarchy.n_cores = 0, "n_cores");
+        reject(&|c| c.hierarchy.n_cores = 3, "n_cores");
     }
 }

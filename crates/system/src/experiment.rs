@@ -1,9 +1,11 @@
 //! One-call experiment runners used by the benches, examples and tests.
 
 use crate::config::SystemConfig;
+use crate::faults::FaultInjector;
 use crate::policy::Policy;
 use crate::sim::{EpochResult, SystemSim};
 use crate::workload::Workload;
+use morphcache::MorphError;
 
 /// The full result of one policy × workload run.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,46 +81,100 @@ impl RunResult {
 
 /// Runs `workload` under `policy` for the configured number of epochs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the policy is incompatible with the configuration (e.g. a
-/// topology for the wrong core count) — experiment definitions are static,
-/// so this is a programming error, not an input error.
-pub fn run_workload(cfg: &SystemConfig, workload: &Workload, policy: &Policy) -> RunResult {
-    let mut sim = SystemSim::new(*cfg, workload, policy).expect("experiment setup is valid");
-    let epochs = sim.run();
-    RunResult {
+/// Returns a [`MorphError`] if the configuration fails validation, the
+/// policy is incompatible with the configuration (e.g. a topology for the
+/// wrong core count), or the forward-progress watchdog fires during the
+/// run.
+pub fn run_workload(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    policy: &Policy,
+) -> Result<RunResult, MorphError> {
+    let mut sim = SystemSim::new(*cfg, workload, policy)?;
+    finish_run(&mut sim, workload, policy)
+}
+
+/// Like [`run_workload`], but with a fault injector installed (see
+/// [`crate::faults`]). Used by the `morph` binary's `--faults` flag and
+/// the resilience tests.
+///
+/// # Errors
+///
+/// In addition to [`run_workload`]'s errors, returns
+/// [`MorphError::FaultSpec`] if the plan does not fit the machine, and
+/// [`MorphError::Stalled`] if an injected fault starves a core past the
+/// forward-progress watchdog's floor.
+pub fn run_workload_faulted(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    policy: &Policy,
+    injector: Box<dyn FaultInjector>,
+) -> Result<RunResult, MorphError> {
+    let mut sim = SystemSim::new(*cfg, workload, policy)?.with_faults(injector)?;
+    finish_run(&mut sim, workload, policy)
+}
+
+fn finish_run(
+    sim: &mut SystemSim,
+    workload: &Workload,
+    policy: &Policy,
+) -> Result<RunResult, MorphError> {
+    let epochs = sim.run()?;
+    Ok(RunResult {
         policy_name: policy.name(),
         workload_name: workload.name(),
         epochs,
-    }
+    })
 }
 
 /// Runs several (workload, policy) jobs in parallel (one thread per job,
 /// bounded by the host's parallelism), preserving input order.
-pub fn run_matrix(cfg: &SystemConfig, jobs: &[(Workload, Policy)]) -> Vec<RunResult> {
-    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let mut results: Vec<Option<RunResult>> = vec![None; jobs.len()];
+///
+/// # Errors
+///
+/// Returns the first failing job's [`MorphError`] (in input order); results
+/// of the other jobs are discarded.
+pub fn run_matrix(
+    cfg: &SystemConfig,
+    jobs: &[(Workload, Policy)],
+) -> Result<Vec<RunResult>, MorphError> {
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut results: Vec<Option<Result<RunResult, MorphError>>> = vec![None; jobs.len()];
     for chunk_indices in (0..jobs.len()).collect::<Vec<_>>().chunks(max_threads) {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for &i in chunk_indices {
                 let (w, p) = &jobs[i];
-                handles.push((i, scope.spawn(move |_| run_workload(cfg, w, p))));
+                handles.push((i, scope.spawn(move || run_workload(cfg, w, p))));
             }
             for (i, h) in handles {
-                results[i] = Some(h.join().expect("experiment thread panicked"));
+                results[i] = Some(match h.join() {
+                    Ok(r) => r,
+                    Err(_) => Err(MorphError::Workload(format!(
+                        "experiment thread {i} panicked"
+                    ))),
+                });
             }
-        })
-        .expect("crossbeam scope");
+        });
     }
-    results.into_iter().map(|r| r.expect("all jobs ran")).collect()
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| Err(MorphError::Workload("job never ran".into()))))
+        .collect()
 }
 
 /// Per-application "alone" IPCs for the weighted/fair speedup metrics:
 /// each application runs by itself on a single-core hierarchy with the
 /// same slice geometry.
-pub fn alone_ipcs(cfg: &SystemConfig, workload: &Workload) -> Vec<f64> {
+///
+/// # Errors
+///
+/// Returns a [`MorphError`] if any solo run fails (see [`run_workload`]).
+pub fn alone_ipcs(cfg: &SystemConfig, workload: &Workload) -> Result<Vec<f64>, MorphError> {
     let n = cfg.n_cores();
     (0..n)
         .map(|c| {
@@ -126,8 +182,8 @@ pub fn alone_ipcs(cfg: &SystemConfig, workload: &Workload) -> Vec<f64> {
             let mut solo_cfg = *cfg;
             solo_cfg.hierarchy.n_cores = 1;
             let solo = Workload::Apps(vec![profile]);
-            let result = run_workload(&solo_cfg, &solo, &Policy::baseline(1));
-            result.mean_ipcs()[0]
+            let result = run_workload(&solo_cfg, &solo, &Policy::baseline(1))?;
+            Ok(result.mean_ipcs()[0])
         })
         .collect()
 }
@@ -140,7 +196,7 @@ mod tests {
     fn run_result_aggregations() {
         let cfg = SystemConfig::quick_test(4).with_epochs(4);
         let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
-        let r = run_workload(&cfg, &w, &Policy::baseline(4));
+        let r = run_workload(&cfg, &w, &Policy::baseline(4)).unwrap();
         assert_eq!(r.epochs.len(), 4);
         assert_eq!(r.mean_ipcs().len(), 4);
         assert!(r.mean_throughput() > 0.0);
@@ -158,10 +214,10 @@ mod tests {
             (w1.clone(), Policy::baseline(4)),
             (w2.clone(), Policy::static_topology("1:1:4", 4)),
         ];
-        let par = run_matrix(&cfg, &jobs);
-        let ser = vec![
-            run_workload(&cfg, &w1, &Policy::baseline(4)),
-            run_workload(&cfg, &w2, &Policy::static_topology("1:1:4", 4)),
+        let par = run_matrix(&cfg, &jobs).unwrap();
+        let ser = [
+            run_workload(&cfg, &w1, &Policy::baseline(4)).unwrap(),
+            run_workload(&cfg, &w2, &Policy::static_topology("1:1:4", 4)).unwrap(),
         ];
         assert_eq!(par[0].mean_throughput(), ser[0].mean_throughput());
         assert_eq!(par[1].mean_throughput(), ser[1].mean_throughput());
@@ -171,7 +227,7 @@ mod tests {
     fn alone_ipcs_positive() {
         let cfg = SystemConfig::quick_test(2).with_epochs(2);
         let w = Workload::named_apps(&["gcc", "libq"]).unwrap();
-        let alone = alone_ipcs(&cfg, &w);
+        let alone = alone_ipcs(&cfg, &w).unwrap();
         assert_eq!(alone.len(), 2);
         assert!(alone.iter().all(|&i| i > 0.0));
     }

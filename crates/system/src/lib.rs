@@ -16,7 +16,15 @@
 //! * [`sim`] — [`sim::SystemSim`]: the epoch loop;
 //! * [`probes`] — event-sink probes (engine adapter, oracle footprints,
 //!   ACFV sweeps for Fig. 5);
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
+//!   and the [`faults::FaultInjector`] trait;
 //! * [`experiment`] — one-call runners used by the benches and examples.
+//!
+//! All public driver APIs return `Result<_, MorphError>`: configuration
+//! problems surface as [`morphcache::MorphError::InvalidConfig`] before a
+//! run starts, and a core that stops retiring instructions mid-run trips
+//! the forward-progress watchdog as [`morphcache::MorphError::Stalled`]
+//! instead of hanging.
 //!
 //! # Example
 //!
@@ -25,12 +33,16 @@
 //!
 //! let cfg = SystemConfig::quick_test(4);
 //! let apps = ["gcc", "hmmer", "mcf", "libquantum"];
-//! let run = run_workload(&cfg, &Workload::named_apps(&apps).unwrap(), &Policy::morph(&cfg));
+//! let run = run_workload(&cfg, &Workload::named_apps(&apps).unwrap(), &Policy::morph(&cfg))
+//!     .expect("quick-test run completes");
 //! assert!(run.mean_throughput() > 0.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod config;
 pub mod experiment;
+pub mod faults;
 pub mod policy;
 pub mod probes;
 pub mod sim;
@@ -40,8 +52,9 @@ pub mod workload;
 pub mod prelude {
     pub use crate::config::SystemConfig;
     pub use crate::experiment::{alone_ipcs, run_workload, RunResult};
+    pub use crate::faults::{FaultInjector, FaultKind, FaultPlan, NoFaults};
     pub use crate::policy::Policy;
     pub use crate::sim::{EpochResult, SystemSim};
     pub use crate::workload::Workload;
-    pub use morphcache::SymmetricTopology;
+    pub use morphcache::{MorphError, StallDiagnostic, SymmetricTopology};
 }

@@ -41,7 +41,10 @@ impl Policy {
     /// MorphCache with paper defaults, decision vectors calibrated to the
     /// configured slice geometry (see `MorphConfig::calibrated`).
     pub fn morph(cfg: &SystemConfig) -> Self {
-        Policy::Morph(MorphConfig::calibrated(cfg.l2_slice_lines(), cfg.l3_slice_lines()))
+        Policy::Morph(MorphConfig::calibrated(
+            cfg.l2_slice_lines(),
+            cfg.l3_slice_lines(),
+        ))
     }
 
     /// MorphCache with QoS throttling enabled (§5.3).

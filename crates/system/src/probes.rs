@@ -72,10 +72,16 @@ impl FootprintProbe {
     /// resets for the next epoch. `l2_lines`/`l3_lines` are the lines per
     /// slice at each level.
     pub fn take_epoch(&mut self, l2_lines: usize, l3_lines: usize) -> (Vec<f64>, Vec<f64>) {
-        let l2: Vec<f64> =
-            self.l2.iter().map(|f| f.len() as f64 / l2_lines as f64).collect();
-        let l3: Vec<f64> =
-            self.l3.iter().map(|f| f.len() as f64 / l3_lines as f64).collect();
+        let l2: Vec<f64> = self
+            .l2
+            .iter()
+            .map(|f| f.len() as f64 / l2_lines as f64)
+            .collect();
+        let l3: Vec<f64> = self
+            .l3
+            .iter()
+            .map(|f| f.len() as f64 / l3_lines as f64)
+            .collect();
         for f in self.l2.iter_mut().chain(self.l3.iter_mut()) {
             f.reset();
         }
@@ -214,7 +220,8 @@ mod tests {
 
     #[test]
     fn engine_sink_routes_events() {
-        let mut engine = MorphEngine::new(4, (0..4).collect(), MorphConfig::calibrated(128, 128));
+        let mut engine =
+            MorphEngine::new(4, (0..4).collect(), MorphConfig::calibrated(128, 128)).unwrap();
         {
             let mut sink = EngineSink::new(&mut engine);
             for i in 0..100u64 {

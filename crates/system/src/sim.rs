@@ -1,15 +1,16 @@
 //! The epoch-driven system simulator.
 
 use crate::config::SystemConfig;
+use crate::faults::{CorruptingSink, FaultInjector, FaultedMemory, NoFaults};
 use crate::policy::Policy;
 use crate::probes::{EngineSink, TeeSink};
 use crate::workload::Workload;
 use morph_baselines::{DsrSystem, PippSystem};
 use morph_cache::{CacheEventSink, Grouping, Hierarchy, MemorySubsystem, NoopSink};
-use morph_cpu::{Core, QuantumScheduler};
+use morph_cpu::{Core, CoreProgress, QuantumScheduler};
 use morph_trace::stream::{AccessStream, SyntheticStream};
-use morphcache::topology::{covering_pow2_span, meet};
-use morphcache::{MorphEngine, SymmetricTopology};
+use morphcache::topology::{covering_pow2_span, is_partition, meet, refines};
+use morphcache::{MorphEngine, MorphError, ReconfigOutcome, StallDiagnostic, SymmetricTopology};
 
 /// Results of one simulated epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +62,8 @@ pub struct SystemSim {
     streams: Vec<SyntheticStream>,
     scheduler: QuantumScheduler,
     epoch: u64,
+    faults: Box<dyn FaultInjector>,
+    last_outcome: Option<ReconfigOutcome>,
 }
 
 impl SystemSim {
@@ -73,20 +76,30 @@ impl SystemSim {
     ///
     /// # Errors
     ///
-    /// Returns a message if the topology does not fit the core count.
-    pub fn new(cfg: SystemConfig, workload: &Workload, policy: &Policy) -> Result<Self, String> {
+    /// Returns [`MorphError::InvalidConfig`] if `cfg` fails validation,
+    /// and [`MorphError::Topology`] / [`MorphError::Grouping`] if the
+    /// policy does not fit the core count.
+    pub fn new(
+        cfg: SystemConfig,
+        workload: &Workload,
+        policy: &Policy,
+    ) -> Result<Self, MorphError> {
+        cfg.validate()?;
         let n = cfg.n_cores();
         let streams = workload.streams(&cfg);
         let cores: Vec<Core> = (0..n).map(|c| Core::new(c, cfg.core)).collect();
         let backend = match policy {
             Policy::Static(t) => {
                 if t.x * t.y * t.z != n {
-                    return Err(format!("topology {t} does not cover {n} cores"));
+                    return Err(MorphError::Topology(format!(
+                        "topology {t} does not cover {n} cores"
+                    )));
                 }
                 let mut hp = cfg.hierarchy;
                 hp.latency = hp.latency.paper_static();
                 let mut hier = Hierarchy::new(hp);
-                apply_groups(&mut hier, &t.l2_groups(), &t.l3_groups())?;
+                apply_groups(&mut hier, &t.l2_groups(), &t.l3_groups())
+                    .map_err(MorphError::Grouping)?;
                 Backend::Static(Box::new(hier))
             }
             Policy::Morph(mc) => {
@@ -98,22 +111,27 @@ impl SystemSim {
                 hp.latency.l2_merged = hp.latency.l2_local + 10;
                 hp.latency.l3_merged = hp.latency.l3_local + 10;
                 let hier = Hierarchy::new(hp);
-                let engine = MorphEngine::new(n, workload.app_ids(n), *mc);
+                let engine = MorphEngine::new(n, workload.app_ids(n), *mc)?;
                 Backend::Morph(Box::new(hier), Box::new(engine))
             }
             Policy::IdealOffline(cands) => {
                 if cands.is_empty() {
-                    return Err("ideal offline scheme needs at least one candidate".into());
+                    return Err(MorphError::Topology(
+                        "ideal offline scheme needs at least one candidate".into(),
+                    ));
                 }
                 for t in cands {
                     if t.x * t.y * t.z != n {
-                        return Err(format!("candidate {t} does not cover {n} cores"));
+                        return Err(MorphError::Topology(format!(
+                            "candidate {t} does not cover {n} cores"
+                        )));
                     }
                 }
                 let mut hp = cfg.hierarchy;
                 hp.latency = hp.latency.paper_static();
                 let mut hier = Hierarchy::new(hp);
-                apply_groups(&mut hier, &cands[0].l2_groups(), &cands[0].l3_groups())?;
+                apply_groups(&mut hier, &cands[0].l2_groups(), &cands[0].l3_groups())
+                    .map_err(MorphError::Grouping)?;
                 Backend::Ideal(Box::new(hier), cands.clone())
             }
             Policy::Pipp => Backend::Pipp(Box::new(PippSystem::new(
@@ -138,7 +156,21 @@ impl SystemSim {
             scheduler: QuantumScheduler::new(cfg.quantum),
             epoch: 0,
             cfg,
+            faults: Box::new(NoFaults),
+            last_outcome: None,
         })
+    }
+
+    /// Installs a fault injector (see [`crate::faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::FaultSpec`] if the plan references cores this
+    /// machine does not have (or is otherwise unrunnable).
+    pub fn with_faults(mut self, injector: Box<dyn FaultInjector>) -> Result<Self, MorphError> {
+        injector.validate(self.cfg.n_cores())?;
+        self.faults = injector;
+        Ok(self)
     }
 
     /// The configuration in use.
@@ -163,24 +195,64 @@ impl SystemSim {
     }
 
     /// Runs one epoch with no external probe.
-    pub fn run_epoch(&mut self) -> EpochResult {
+    ///
+    /// # Errors
+    ///
+    /// See [`run_epoch_probed`](Self::run_epoch_probed).
+    pub fn run_epoch(&mut self) -> Result<EpochResult, MorphError> {
         let mut noop = NoopSink;
         self.run_epoch_probed(&mut noop)
     }
 
     /// Runs one epoch, duplicating all cache events into `probe`.
-    pub fn run_epoch_probed(&mut self, probe: &mut dyn CacheEventSink) -> EpochResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Stalled`] if the forward-progress watchdog
+    /// detects a core below the per-epoch retirement floor, and
+    /// [`MorphError::Grouping`] / [`MorphError::Topology`] if a
+    /// reconfiguration produces a topology that cannot be repaired.
+    pub fn run_epoch_probed(
+        &mut self,
+        probe: &mut dyn CacheEventSink,
+    ) -> Result<EpochResult, MorphError> {
         let epoch = self.epoch;
         let cycles = self.cfg.epoch_cycles;
+        let n = self.cfg.n_cores();
+        self.faults.begin_epoch(epoch, cycles, n);
         let result = match &mut self.backend {
             Backend::Static(hier) => {
                 hier.reset_stats();
-                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, hier.as_mut(), probe, cycles);
-                let ipcs = take_ipcs(&mut self.cores);
+                if self.faults.is_noop() {
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        hier.as_mut(),
+                        probe,
+                        cycles,
+                    );
+                } else {
+                    let mut mem = FaultedMemory::new(hier.as_mut(), self.faults.as_mut());
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        &mut mem,
+                        probe,
+                        cycles,
+                    );
+                }
+                let progress = take_progress(&mut self.cores);
+                check_forward_progress(
+                    epoch,
+                    cycles,
+                    &progress,
+                    self.faults.as_ref(),
+                    self.last_outcome.as_ref(),
+                )?;
                 let misses = hierarchy_misses(hier);
                 EpochResult {
                     epoch,
-                    ipcs,
+                    ipcs: ipcs_of(&progress),
                     misses_by_core: misses,
                     reconfig_events: 0,
                     asymmetric_events: 0,
@@ -194,22 +266,56 @@ impl SystemSim {
                 hier.reset_stats();
                 {
                     let mut esink = EngineSink::new(engine);
-                    let mut tee = TeeSink::new(&mut esink, probe);
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        hier.as_mut(),
-                        &mut tee,
-                        cycles,
-                    );
+                    if self.faults.is_noop() {
+                        let mut tee = TeeSink::new(&mut esink, probe);
+                        self.scheduler.run_epoch(
+                            &mut self.cores,
+                            &mut self.streams,
+                            hier.as_mut(),
+                            &mut tee,
+                            cycles,
+                        );
+                    } else {
+                        // The probe still sees clean events; only the
+                        // engine's footprint samples are scrambled.
+                        let mask = self.faults.corrupt_mask().unwrap_or(0);
+                        let mut corrupt = CorruptingSink::new(&mut esink, mask);
+                        let mut tee = TeeSink::new(&mut corrupt, probe);
+                        let mut mem = FaultedMemory::new(hier.as_mut(), self.faults.as_mut());
+                        self.scheduler.run_epoch(
+                            &mut self.cores,
+                            &mut self.streams,
+                            &mut mem,
+                            &mut tee,
+                            cycles,
+                        );
+                    }
                 }
-                let ipcs = take_ipcs(&mut self.cores);
+                let progress = take_progress(&mut self.cores);
+                check_forward_progress(
+                    epoch,
+                    cycles,
+                    &progress,
+                    self.faults.as_ref(),
+                    self.last_outcome.as_ref(),
+                )?;
+                let ipcs = ipcs_of(&progress);
                 let misses = hierarchy_misses(hier);
                 engine.note_epoch_misses(&misses);
                 engine.note_epoch_perf(&ipcs);
-                let outcome = engine.reconfigure(epoch);
+                let mut outcome = engine.reconfigure(epoch)?;
+                if self.faults.force_merge() {
+                    force_l3_merge(&mut outcome);
+                }
+                if self.faults.force_split() {
+                    force_l3_split(&mut outcome);
+                }
+                let (l2g, l3g) =
+                    validate_and_repair(epoch, n, outcome.l2_groups, outcome.l3_groups)?;
+                outcome.l2_groups = l2g;
+                outcome.l3_groups = l3g;
                 apply_groups(hier, &outcome.l2_groups, &outcome.l3_groups)
-                    .expect("engine groupings are inclusion-safe");
+                    .map_err(MorphError::Grouping)?;
                 // §5.5 relaxed groupings: distant members pay a
                 // span-proportional bus penalty (on the pipelined bus).
                 let mut base = self.cfg.hierarchy.latency;
@@ -221,21 +327,19 @@ impl SystemSim {
                     base.l2_local + ((base.l2_merged - base.l2_local) as f64 * f2) as u64,
                     base.l3_local + ((base.l3_merged - base.l3_local) as f64 * f3) as u64,
                 );
-                EpochResult {
+                let result = EpochResult {
                     epoch,
                     ipcs,
                     misses_by_core: misses,
                     reconfig_events: outcome.events.len(),
-                    asymmetric_events: outcome
-                        .events
-                        .iter()
-                        .filter(|e| e.asymmetric_after)
-                        .count(),
+                    asymmetric_events: outcome.events.iter().filter(|e| e.asymmetric_after).count(),
                     asymmetric: outcome.asymmetric,
                     l2_grouping: hier.l2().grouping().describe(),
                     l3_grouping: hier.l3().grouping().describe(),
                     chosen_topology: None,
-                }
+                };
+                self.last_outcome = Some(outcome);
+                result
             }
             Backend::Ideal(hier, candidates) => {
                 // Trial-run every candidate from a snapshot, keep the best.
@@ -249,26 +353,53 @@ impl SystemSim {
                         continue;
                     }
                     let mut noop = NoopSink;
-                    self.scheduler.run_epoch(&mut cs, &mut ss, &mut *h, &mut noop, cycles);
+                    self.scheduler
+                        .run_epoch(&mut cs, &mut ss, &mut *h, &mut noop, cycles);
                     let tp: f64 = cs.iter_mut().map(|c| c.take_progress().ipc()).sum();
                     if best.map(|(b, _)| tp > b).unwrap_or(true) {
                         best = Some((tp, *t));
                     }
                 }
-                let (_, chosen) = best.expect("at least one candidate ran");
+                let (_, chosen) = best.ok_or_else(|| {
+                    MorphError::Topology("ideal offline: no candidate could be applied".into())
+                })?;
                 // Commit: restore the snapshot and run under the winner.
                 **hier = *snapshot.0;
                 self.cores = snapshot.1;
                 self.streams = snapshot.2;
                 apply_groups(hier, &chosen.l2_groups(), &chosen.l3_groups())
-                    .expect("candidate topology is self-consistent");
+                    .map_err(MorphError::Grouping)?;
                 hier.reset_stats();
-                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, hier.as_mut(), probe, cycles);
-                let ipcs = take_ipcs(&mut self.cores);
+                if self.faults.is_noop() {
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        hier.as_mut(),
+                        probe,
+                        cycles,
+                    );
+                } else {
+                    let mut mem = FaultedMemory::new(hier.as_mut(), self.faults.as_mut());
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        &mut mem,
+                        probe,
+                        cycles,
+                    );
+                }
+                let progress = take_progress(&mut self.cores);
+                check_forward_progress(
+                    epoch,
+                    cycles,
+                    &progress,
+                    self.faults.as_ref(),
+                    self.last_outcome.as_ref(),
+                )?;
                 let misses = hierarchy_misses(hier);
                 EpochResult {
                     epoch,
-                    ipcs,
+                    ipcs: ipcs_of(&progress),
                     misses_by_core: misses,
                     reconfig_events: 0,
                     asymmetric_events: 0,
@@ -280,9 +411,33 @@ impl SystemSim {
             }
             Backend::Pipp(sys) => {
                 let before = sys.l3_misses_by_core.clone();
-                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, &mut **sys, probe, cycles);
+                if self.faults.is_noop() {
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        &mut **sys,
+                        probe,
+                        cycles,
+                    );
+                } else {
+                    let mut mem = FaultedMemory::new(&mut **sys, self.faults.as_mut());
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        &mut mem,
+                        probe,
+                        cycles,
+                    );
+                }
                 sys.epoch_boundary();
-                let ipcs = take_ipcs(&mut self.cores);
+                let progress = take_progress(&mut self.cores);
+                check_forward_progress(
+                    epoch,
+                    cycles,
+                    &progress,
+                    self.faults.as_ref(),
+                    self.last_outcome.as_ref(),
+                )?;
                 let misses = sys
                     .l3_misses_by_core
                     .iter()
@@ -291,7 +446,7 @@ impl SystemSim {
                     .collect();
                 EpochResult {
                     epoch,
-                    ipcs,
+                    ipcs: ipcs_of(&progress),
                     misses_by_core: misses,
                     reconfig_events: 0,
                     asymmetric_events: 0,
@@ -303,9 +458,33 @@ impl SystemSim {
             }
             Backend::Dsr(sys) => {
                 let before = sys.l3_misses_by_core.clone();
-                self.scheduler.run_epoch(&mut self.cores, &mut self.streams, &mut **sys, probe, cycles);
+                if self.faults.is_noop() {
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        &mut **sys,
+                        probe,
+                        cycles,
+                    );
+                } else {
+                    let mut mem = FaultedMemory::new(&mut **sys, self.faults.as_mut());
+                    self.scheduler.run_epoch(
+                        &mut self.cores,
+                        &mut self.streams,
+                        &mut mem,
+                        probe,
+                        cycles,
+                    );
+                }
                 sys.epoch_boundary();
-                let ipcs = take_ipcs(&mut self.cores);
+                let progress = take_progress(&mut self.cores);
+                check_forward_progress(
+                    epoch,
+                    cycles,
+                    &progress,
+                    self.faults.as_ref(),
+                    self.last_outcome.as_ref(),
+                )?;
                 let misses = sys
                     .l3_misses_by_core
                     .iter()
@@ -314,7 +493,7 @@ impl SystemSim {
                     .collect();
                 EpochResult {
                     epoch,
-                    ipcs,
+                    ipcs: ipcs_of(&progress),
                     misses_by_core: misses,
                     reconfig_events: 0,
                     asymmetric_events: 0,
@@ -329,21 +508,114 @@ impl SystemSim {
             s.advance_epoch();
         }
         self.epoch += 1;
-        result
+        Ok(result)
     }
 
     /// Runs the configured warm-up epochs (discarded) followed by the
     /// measured epochs.
-    pub fn run(&mut self) -> Vec<EpochResult> {
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on the first epoch error (the watchdog applies during
+    /// warm-up too); see [`run_epoch_probed`](Self::run_epoch_probed).
+    pub fn run(&mut self) -> Result<Vec<EpochResult>, MorphError> {
         for _ in 0..self.cfg.warmup_epochs {
-            self.run_epoch();
+            self.run_epoch()?;
         }
         (0..self.cfg.n_epochs).map(|_| self.run_epoch()).collect()
     }
 }
 
-fn take_ipcs(cores: &mut [Core]) -> Vec<f64> {
-    cores.iter_mut().map(|c| c.take_progress().ipc()).collect()
+fn take_progress(cores: &mut [Core]) -> Vec<CoreProgress> {
+    cores.iter_mut().map(|c| c.take_progress()).collect()
+}
+
+fn ipcs_of(progress: &[CoreProgress]) -> Vec<f64> {
+    progress.iter().map(CoreProgress::ipc).collect()
+}
+
+/// The forward-progress watchdog: every core must retire at least
+/// `max(16, epoch_cycles / 10_000)` instructions per epoch. A healthy
+/// core, even one bound by memory latency on every access, retires orders
+/// of magnitude more; a core whose misses cannot complete (pinned MSHR
+/// entries, a wedged arbiter) retires at most one access's worth.
+fn check_forward_progress(
+    epoch: u64,
+    epoch_cycles: u64,
+    progress: &[CoreProgress],
+    faults: &dyn FaultInjector,
+    last_reconfig: Option<&ReconfigOutcome>,
+) -> Result<(), MorphError> {
+    let floor = 16u64.max(epoch_cycles / 10_000);
+    for (core, p) in progress.iter().enumerate() {
+        if p.instructions < floor {
+            return Err(MorphError::Stalled {
+                epoch,
+                core,
+                diagnostic: Box::new(StallDiagnostic {
+                    retired: p.instructions,
+                    cycles: epoch_cycles,
+                    mshr_outstanding: faults.mshr_outstanding(),
+                    bus_pending: faults.bus_pending(),
+                    last_reconfig: last_reconfig.cloned(),
+                }),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A pair of slice groupings, L2 first.
+type GroupPair = (Vec<Vec<usize>>, Vec<Vec<usize>>);
+
+/// Post-reconfigure invariant check with repair: both groupings must
+/// partition the slices (non-partitions are rejected — there is no safe
+/// repair for slices that vanished or appear twice), and L2 must refine
+/// L3 for inclusion to be maintainable. A refinement violation is
+/// repaired by installing the meet of the two groupings at L2, which
+/// refines both operands.
+fn validate_and_repair(
+    epoch: u64,
+    n: usize,
+    l2: Vec<Vec<usize>>,
+    l3: Vec<Vec<usize>>,
+) -> Result<GroupPair, MorphError> {
+    if !is_partition(&l2, n) {
+        return Err(MorphError::Grouping(format!(
+            "epoch {epoch}: L2 groups do not partition {n} slices: {l2:?}"
+        )));
+    }
+    if !is_partition(&l3, n) {
+        return Err(MorphError::Grouping(format!(
+            "epoch {epoch}: L3 groups do not partition {n} slices: {l3:?}"
+        )));
+    }
+    let l2 = if refines(&l2, &l3) {
+        l2
+    } else {
+        meet(&l2, &l3)
+    };
+    Ok((l2, l3))
+}
+
+/// Forces a merge of the first two L3 groups (fault injection). L3 only
+/// gets coarser, so L2 still refines it.
+fn force_l3_merge(outcome: &mut ReconfigOutcome) {
+    if outcome.l3_groups.len() >= 2 {
+        let second = outcome.l3_groups.remove(1);
+        outcome.l3_groups[0].extend(second);
+        outcome.l3_groups[0].sort_unstable();
+    }
+}
+
+/// Forces an L3-only split of the first non-singleton group (fault
+/// injection). Deliberately does NOT touch L2, so an L2 group spanning
+/// the split violates refinement and exercises the repair path.
+fn force_l3_split(outcome: &mut ReconfigOutcome) {
+    if let Some(g) = outcome.l3_groups.iter_mut().find(|g| g.len() >= 2) {
+        let tail = g.split_off(g.len() / 2);
+        outcome.l3_groups.push(tail);
+    }
 }
 
 fn hierarchy_misses(hier: &Hierarchy) -> Vec<u64> {
@@ -376,21 +648,23 @@ pub fn apply_groups(
     l3_groups: &[Vec<usize>],
 ) -> Result<(), String> {
     let n = hier.params().n_cores;
-    let current_l3: Vec<Vec<usize>> =
-        hier.l3().grouping().iter().map(|g| g.to_vec()).collect();
+    let current_l3: Vec<Vec<usize>> = hier.l3().grouping().iter().map(|g| g.to_vec()).collect();
     let intermediate = meet(l2_groups, &current_l3);
-    let to_grouping = |gs: &[Vec<usize>]| {
-        Grouping::from_groups(n, gs.to_vec()).map_err(|e| e.to_string())
-    };
-    hier.set_l2_grouping(to_grouping(&intermediate)?).map_err(|e| e.to_string())?;
-    hier.set_l3_grouping(to_grouping(l3_groups)?).map_err(|e| e.to_string())?;
-    hier.set_l2_grouping(to_grouping(l2_groups)?).map_err(|e| e.to_string())?;
+    let to_grouping =
+        |gs: &[Vec<usize>]| Grouping::from_groups(n, gs.to_vec()).map_err(|e| e.to_string());
+    hier.set_l2_grouping(to_grouping(&intermediate)?)
+        .map_err(|e| e.to_string())?;
+    hier.set_l3_grouping(to_grouping(l3_groups)?)
+        .map_err(|e| e.to_string())?;
+    hier.set_l2_grouping(to_grouping(l2_groups)?)
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::{FaultKind, FaultPlan};
 
     fn quick(n: usize) -> SystemConfig {
         SystemConfig::quick_test(n)
@@ -401,7 +675,7 @@ mod tests {
         let cfg = quick(4);
         let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
         let mut sim = SystemSim::new(cfg, &w, &Policy::baseline(4)).unwrap();
-        let epochs = sim.run();
+        let epochs = sim.run().unwrap();
         assert_eq!(epochs.len(), cfg.n_epochs);
         for e in &epochs {
             assert_eq!(e.ipcs.len(), 4);
@@ -418,7 +692,7 @@ mod tests {
         // A capacity-imbalanced workload: two heavy, two light.
         let w = Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).unwrap();
         let mut sim = SystemSim::new(cfg, &w, &Policy::morph(&cfg)).unwrap();
-        sim.run();
+        sim.run().unwrap();
         // Reconfigurations may land in the warm-up epoch, so check the
         // engine's persistent log rather than the measured epochs.
         assert!(
@@ -434,7 +708,8 @@ mod tests {
         let cfg = quick(4);
         let w = Workload::named_apps(&["gcc", "gcc", "gcc", "gcc"]).unwrap();
         let t16 = SymmetricTopology::new(4, 4, 1, 16).unwrap();
-        assert!(SystemSim::new(cfg, &w, &Policy::Static(t16)).is_err());
+        let err = SystemSim::new(cfg, &w, &Policy::Static(t16)).err().unwrap();
+        assert!(matches!(err, MorphError::Topology(_)), "{err}");
     }
 
     #[test]
@@ -443,7 +718,7 @@ mod tests {
         let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
         for p in [Policy::Pipp, Policy::Dsr] {
             let mut sim = SystemSim::new(cfg, &w, &p).unwrap();
-            let epochs = sim.run();
+            let epochs = sim.run().unwrap();
             assert!(epochs.iter().all(|e| e.throughput() > 0.0), "{}", p.name());
         }
     }
@@ -458,7 +733,7 @@ mod tests {
             SymmetricTopology::new(2, 2, 1, 4).unwrap(),
         ];
         let mut sim = SystemSim::new(cfg, &w, &Policy::IdealOffline(cands)).unwrap();
-        let epochs = sim.run();
+        let epochs = sim.run().unwrap();
         for e in &epochs {
             assert!(e.chosen_topology.is_some());
         }
@@ -495,8 +770,122 @@ mod tests {
         let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
         let run = |_: u32| {
             let mut sim = SystemSim::new(cfg, &w, &Policy::baseline(4)).unwrap();
-            sim.run().iter().map(|e| e.throughput()).collect::<Vec<_>>()
+            sim.run()
+                .unwrap()
+                .iter()
+                .map(|e| e.throughput())
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn validate_and_repair_rejects_non_partitions() {
+        // Slice 3 missing from L2.
+        let err = validate_and_repair(0, 4, vec![vec![0, 1], vec![2]], vec![vec![0, 1, 2, 3]]);
+        assert!(matches!(err, Err(MorphError::Grouping(_))));
+        // Slice 1 duplicated in L3.
+        let err = validate_and_repair(
+            0,
+            4,
+            vec![vec![0], vec![1], vec![2], vec![3]],
+            vec![vec![0, 1], vec![1, 2, 3]],
+        );
+        assert!(matches!(err, Err(MorphError::Grouping(_))));
+    }
+
+    #[test]
+    fn validate_and_repair_restores_refinement() {
+        // L2 group [0,1] spans two L3 groups [0] and [1]: repaired by the
+        // meet, which splits the L2 group.
+        let (l2, l3) = validate_and_repair(
+            0,
+            4,
+            vec![vec![0, 1], vec![2, 3]],
+            vec![vec![0], vec![1], vec![2, 3]],
+        )
+        .unwrap();
+        assert!(refines(&l2, &l3));
+        assert!(is_partition(&l2, 4));
+        assert_eq!(l3, vec![vec![0], vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn forced_merge_and_split_are_repaired_into_valid_topologies() {
+        let mut outcome = ReconfigOutcome {
+            l2_groups: vec![vec![0, 1], vec![2, 3]],
+            l3_groups: vec![vec![0, 1], vec![2, 3]],
+            events: Vec::new(),
+            asymmetric: false,
+        };
+        force_l3_merge(&mut outcome);
+        assert_eq!(outcome.l3_groups, vec![vec![0, 1, 2, 3]]);
+        force_l3_split(&mut outcome);
+        // The split broke nothing L2 refines, but must still be a
+        // partition and repairable.
+        let (l2, l3) = validate_and_repair(0, 4, outcome.l2_groups, outcome.l3_groups).unwrap();
+        assert!(is_partition(&l3, 4));
+        assert!(refines(&l2, &l3));
+    }
+
+    #[test]
+    fn faulted_morph_run_completes_with_degraded_stats() {
+        let cfg = quick(4).with_epochs(4);
+        let w = Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).unwrap();
+        let plan = FaultPlan::seeded(9)
+            .with_fault(FaultKind::AcfvCorrupt { epoch: 1 })
+            .with_fault(FaultKind::DropGrants {
+                epoch: 2,
+                cycles: 5_000,
+            })
+            .with_fault(FaultKind::ForceMerge { epoch: 3 })
+            .with_fault(FaultKind::ForceSplit { epoch: 4 });
+        let mut sim = SystemSim::new(cfg, &w, &Policy::morph(&cfg))
+            .unwrap()
+            .with_faults(Box::new(plan))
+            .unwrap();
+        let epochs = sim.run().unwrap();
+        assert_eq!(epochs.len(), cfg.n_epochs);
+        assert!(epochs
+            .iter()
+            .all(|e| e.throughput() > 0.0 && e.throughput().is_finite()));
+        sim.hierarchy().unwrap().check_inclusion().unwrap();
+    }
+
+    #[test]
+    fn pinned_mshr_trips_watchdog_instead_of_hanging() {
+        let cfg = quick(4).with_epochs(4);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let plan = FaultPlan::seeded(0).with_fault(FaultKind::PinMshr { epoch: 2, core: 1 });
+        let mut sim = SystemSim::new(cfg, &w, &Policy::morph(&cfg))
+            .unwrap()
+            .with_faults(Box::new(plan))
+            .unwrap();
+        match sim.run() {
+            Err(MorphError::Stalled {
+                epoch,
+                core,
+                diagnostic,
+            }) => {
+                assert_eq!(epoch, 2);
+                assert_eq!(core, 1);
+                assert_eq!(diagnostic.mshr_outstanding.len(), 4);
+                assert!(diagnostic.mshr_outstanding[1] > 0, "{diagnostic}");
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_plan_out_of_range_core_rejected_up_front() {
+        let cfg = quick(4);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let plan = FaultPlan::seeded(0).with_fault(FaultKind::PinMshr { epoch: 0, core: 7 });
+        let err = SystemSim::new(cfg, &w, &Policy::baseline(4))
+            .unwrap()
+            .with_faults(Box::new(plan))
+            .err()
+            .unwrap();
+        assert!(matches!(err, MorphError::FaultSpec(_)), "{err}");
     }
 }

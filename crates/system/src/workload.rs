@@ -24,7 +24,9 @@ impl Workload {
     ///
     /// Returns a message if the id is outside `1..=12`.
     pub fn mix(id: usize) -> Result<Self, String> {
-        mixes::mix(id).map(Workload::Mix).ok_or_else(|| format!("no MIX {id:02}"))
+        mixes::mix(id)
+            .map(Workload::Mix)
+            .ok_or_else(|| format!("no MIX {id:02}"))
     }
 
     /// Single-threaded applications by name (SPEC names or Table 5

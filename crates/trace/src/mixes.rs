@@ -37,55 +37,105 @@ impl Mix {
 }
 
 /// Raw Table 5 contents: `(id, composition, benchmark shorthand list)`.
-const RAW_MIXES: [(usize, (u8, u8, u8, u8), [&str; 16]); 12] = [
-    (1, (0, 0, 10, 6), [
-        "calculix", "bwaves", "leslie", "namd", "sjeng", "bzip2", "povray", "soplex",
-        "cactus", "tonto", "xalanc", "zeusmp", "dealII", "gcc", "gobmk", "h264",
-    ]),
-    (2, (0, 4, 6, 6), [
-        "dealII", "gcc", "leslie", "namd", "sjeng", "zeusmp", "bzip2", "calculix",
-        "gobmk", "h264", "gomacs", "hmmer", "wrf", "milc", "tonto", "xalanc",
-    ]),
-    (3, (0, 8, 4, 4), [
-        "gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp",
-        "namd", "cactus", "gobmk", "soplex", "gcc", "calculix", "h264", "tonto",
-    ]),
-    (4, (0, 8, 8, 0), [
-        "gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp",
-        "bwaves", "namd", "leslie", "sjeng", "zeusmp", "bzip2", "povray", "soplex",
-    ]),
-    (5, (2, 2, 6, 6), [
-        "gamess", "libm", "sphinx", "astar", "bwaves", "namd", "sjeng", "gobmk",
-        "povray", "soplex", "dealII", "gcc", "calculix", "h264", "tonto", "xalanc",
-    ]),
-    (6, (2, 6, 2, 6), [
-        "dealII", "libq", "perl", "gromacs", "hmmer", "mcf", "wrf", "astar",
-        "milc", "sjeng", "gobmk", "gcc", "calculix", "h264", "tonto", "xalanc",
-    ]),
-    (7, (4, 0, 6, 6), [
-        "gcc", "libm", "libq", "perl", "cactus", "zeusmp", "bzip2", "gobmk",
-        "povray", "soplex", "dealII", "gamess", "calculix", "h264", "tonto", "xalanc",
-    ]),
-    (8, (4, 4, 4, 4), [
-        "hmmer", "mcf", "libq", "wrf", "omnetpp", "Gems", "bwaves", "bzip2",
-        "gobmk", "perl", "povray", "gcc", "calculix", "libm", "h264", "xalanc",
-    ]),
-    (9, (4, 4, 8, 0), [
-        "Gems", "gamess", "libm", "libq", "astar", "gromacs", "hmmer", "milc",
-        "bwaves", "leslie", "sjeng", "povray", "gobmk", "soplex", "bzip2", "zeusmp",
-    ]),
-    (10, (4, 6, 0, 6), [
-        "perl", "hmmer", "mcf", "wrf", "astar", "milc", "Gems", "omnetpp",
-        "dealII", "libm", "gcc", "calculix", "h264", "gamess", "tonto", "xalanc",
-    ]),
-    (11, (4, 8, 0, 4), [
-        "libm", "libq", "gromacs", "hmmer", "mcf", "sphinx", "wrf", "gamess",
-        "astar", "milc", "omnetpp", "gcc", "Gems", "h264", "tonto", "xalanc",
-    ]),
-    (12, (4, 8, 4, 0), [
-        "gamess", "libm", "libq", "perl", "gromacs", "hmmer", "mcf", "sphinx",
-        "wrf", "astar", "milc", "omnetpp", "sjeng", "zeusmp", "gobmk", "soplex",
-    ]),
+type RawMix = (usize, (u8, u8, u8, u8), [&'static str; 16]);
+
+const RAW_MIXES: [RawMix; 12] = [
+    (
+        1,
+        (0, 0, 10, 6),
+        [
+            "calculix", "bwaves", "leslie", "namd", "sjeng", "bzip2", "povray", "soplex", "cactus",
+            "tonto", "xalanc", "zeusmp", "dealII", "gcc", "gobmk", "h264",
+        ],
+    ),
+    (
+        2,
+        (0, 4, 6, 6),
+        [
+            "dealII", "gcc", "leslie", "namd", "sjeng", "zeusmp", "bzip2", "calculix", "gobmk",
+            "h264", "gomacs", "hmmer", "wrf", "milc", "tonto", "xalanc",
+        ],
+    ),
+    (
+        3,
+        (0, 8, 4, 4),
+        [
+            "gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp", "namd",
+            "cactus", "gobmk", "soplex", "gcc", "calculix", "h264", "tonto",
+        ],
+    ),
+    (
+        4,
+        (0, 8, 8, 0),
+        [
+            "gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar", "milc", "omnetpp", "bwaves",
+            "namd", "leslie", "sjeng", "zeusmp", "bzip2", "povray", "soplex",
+        ],
+    ),
+    (
+        5,
+        (2, 2, 6, 6),
+        [
+            "gamess", "libm", "sphinx", "astar", "bwaves", "namd", "sjeng", "gobmk", "povray",
+            "soplex", "dealII", "gcc", "calculix", "h264", "tonto", "xalanc",
+        ],
+    ),
+    (
+        6,
+        (2, 6, 2, 6),
+        [
+            "dealII", "libq", "perl", "gromacs", "hmmer", "mcf", "wrf", "astar", "milc", "sjeng",
+            "gobmk", "gcc", "calculix", "h264", "tonto", "xalanc",
+        ],
+    ),
+    (
+        7,
+        (4, 0, 6, 6),
+        [
+            "gcc", "libm", "libq", "perl", "cactus", "zeusmp", "bzip2", "gobmk", "povray",
+            "soplex", "dealII", "gamess", "calculix", "h264", "tonto", "xalanc",
+        ],
+    ),
+    (
+        8,
+        (4, 4, 4, 4),
+        [
+            "hmmer", "mcf", "libq", "wrf", "omnetpp", "Gems", "bwaves", "bzip2", "gobmk", "perl",
+            "povray", "gcc", "calculix", "libm", "h264", "xalanc",
+        ],
+    ),
+    (
+        9,
+        (4, 4, 8, 0),
+        [
+            "Gems", "gamess", "libm", "libq", "astar", "gromacs", "hmmer", "milc", "bwaves",
+            "leslie", "sjeng", "povray", "gobmk", "soplex", "bzip2", "zeusmp",
+        ],
+    ),
+    (
+        10,
+        (4, 6, 0, 6),
+        [
+            "perl", "hmmer", "mcf", "wrf", "astar", "milc", "Gems", "omnetpp", "dealII", "libm",
+            "gcc", "calculix", "h264", "gamess", "tonto", "xalanc",
+        ],
+    ),
+    (
+        11,
+        (4, 8, 0, 4),
+        [
+            "libm", "libq", "gromacs", "hmmer", "mcf", "sphinx", "wrf", "gamess", "astar", "milc",
+            "omnetpp", "gcc", "Gems", "h264", "tonto", "xalanc",
+        ],
+    ),
+    (
+        12,
+        (4, 8, 4, 0),
+        [
+            "gamess", "libm", "libq", "perl", "gromacs", "hmmer", "mcf", "sphinx", "wrf", "astar",
+            "milc", "omnetpp", "sjeng", "zeusmp", "gobmk", "soplex",
+        ],
+    ),
 ];
 
 /// Returns mix `id` (1-based, as in Table 5).
@@ -95,12 +145,18 @@ pub fn mix(id: usize) -> Option<Mix> {
         .iter()
         .map(|n| spec::profile(n).unwrap_or_else(|| panic!("unknown benchmark {n} in MIX {mid}")))
         .collect();
-    Some(Mix { id: *mid, composition: *composition, benchmarks })
+    Some(Mix {
+        id: *mid,
+        composition: *composition,
+        benchmarks,
+    })
 }
 
 /// All 12 mixes.
 pub fn all_mixes() -> Vec<Mix> {
-    (1..=MIX_COUNT).map(|i| mix(i).expect("mix table is complete")).collect()
+    (1..=MIX_COUNT)
+        .map(|i| mix(i).expect("mix table is complete"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -130,8 +186,11 @@ mod tests {
 
     #[test]
     fn low_variation_mixes_are_4_and_8() {
-        let flagged: Vec<usize> =
-            all_mixes().iter().filter(|m| m.is_low_variation()).map(|m| m.id).collect();
+        let flagged: Vec<usize> = all_mixes()
+            .iter()
+            .filter(|m| m.is_low_variation())
+            .map(|m| m.id)
+            .collect();
         assert_eq!(flagged, vec![4, 8]);
     }
 
@@ -146,13 +205,24 @@ mod tests {
             for b in &m.benchmarks {
                 counts[b.class.unwrap() as usize] += 1;
             }
-            let want = [m.composition.0, m.composition.1, m.composition.2, m.composition.3];
+            let want = [
+                m.composition.0,
+                m.composition.1,
+                m.composition.2,
+                m.composition.3,
+            ];
             let diff: i32 = counts
                 .iter()
                 .zip(want.iter())
                 .map(|(&a, &b)| (a as i32 - b as i32).abs())
                 .sum();
-            assert!(diff <= 6, "{}: counts {:?} vs annotation {:?}", m.name(), counts, want);
+            assert!(
+                diff <= 6,
+                "{}: counts {:?} vs annotation {:?}",
+                m.name(),
+                counts,
+                want
+            );
         }
     }
 
@@ -161,10 +231,19 @@ mod tests {
         // §5.1: "Mixes 1-3, 6-7, and 10 include more applications that have
         // a large ACF in both the L2 and L3 caches."
         let high_count = |m: &Mix| {
-            m.benchmarks.iter().filter(|b| b.l2_high() && b.l3_high()).count()
+            m.benchmarks
+                .iter()
+                .filter(|b| b.l2_high() && b.l3_high())
+                .count()
         };
-        let heavy: usize = [1usize, 2, 3].iter().map(|&i| high_count(&mix(i).unwrap())).sum();
-        let light: usize = [4usize, 9, 12].iter().map(|&i| high_count(&mix(i).unwrap())).sum();
+        let heavy: usize = [1usize, 2, 3]
+            .iter()
+            .map(|&i| high_count(&mix(i).unwrap()))
+            .sum();
+        let light: usize = [4usize, 9, 12]
+            .iter()
+            .map(|&i| high_count(&mix(i).unwrap()))
+            .sum();
         assert!(heavy > light, "heavy {heavy} vs light {light}");
     }
 }

@@ -39,15 +39,45 @@ macro_rules! parsec_profile {
 
 /// All PARSEC profiles, in Table 4 order.
 pub const PARSEC_PROFILES: [BenchmarkProfile; 12] = [
-    parsec_profile!("blackscholes", 0.23, 0.04, 0.07, 0.18, 0.02, 0.05, 0.05, 0.25),
+    parsec_profile!(
+        "blackscholes",
+        0.23,
+        0.04,
+        0.07,
+        0.18,
+        0.02,
+        0.05,
+        0.05,
+        0.25
+    ),
     parsec_profile!("bodytrack", 0.38, 0.07, 0.03, 0.22, 0.04, 0.02, 0.15, 0.28),
     parsec_profile!("canneal", 0.65, 0.13, 0.18, 0.58, 0.07, 0.14, 0.35, 0.36),
     parsec_profile!("dedup", 0.47, 0.05, 0.08, 0.74, 0.16, 0.12, 0.50, 0.32),
     parsec_profile!("facesim", 0.41, 0.11, 0.14, 0.64, 0.17, 0.08, 0.40, 0.33),
     parsec_profile!("ferret", 0.59, 0.14, 0.18, 0.58, 0.06, 0.08, 0.50, 0.31),
-    parsec_profile!("fluidanimate", 0.47, 0.04, 0.11, 0.41, 0.03, 0.19, 0.20, 0.30),
+    parsec_profile!(
+        "fluidanimate",
+        0.47,
+        0.04,
+        0.11,
+        0.41,
+        0.03,
+        0.19,
+        0.20,
+        0.30
+    ),
     parsec_profile!("freqmine", 0.61, 0.13, 0.13, 0.71, 0.14, 0.20, 0.55, 0.33),
-    parsec_profile!("streamcluster", 0.79, 0.28, 0.12, 0.61, 0.16, 0.07, 0.30, 0.38),
+    parsec_profile!(
+        "streamcluster",
+        0.79,
+        0.28,
+        0.12,
+        0.61,
+        0.16,
+        0.07,
+        0.30,
+        0.38
+    ),
     parsec_profile!("swaptions", 0.43, 0.05, 0.11, 0.37, 0.04, 0.02, 0.05, 0.26),
     parsec_profile!("vips", 0.62, 0.09, 0.15, 0.57, 0.06, 0.12, 0.25, 0.30),
     parsec_profile!("x264", 0.55, 0.07, 0.10, 0.52, 0.13, 0.18, 0.45, 0.29),
@@ -90,10 +120,8 @@ mod tests {
         // deviation in L3".
         let l2ss = |n: &str| profile(n).unwrap().l2_sigma_s;
         let l3ss = |n: &str| profile(n).unwrap().l3_sigma_s;
-        let l2_mean: f64 =
-            PARSEC_PROFILES.iter().map(|p| p.l2_sigma_s).sum::<f64>() / 12.0;
-        let l3_mean: f64 =
-            PARSEC_PROFILES.iter().map(|p| p.l3_sigma_s).sum::<f64>() / 12.0;
+        let l2_mean: f64 = PARSEC_PROFILES.iter().map(|p| p.l2_sigma_s).sum::<f64>() / 12.0;
+        let l3_mean: f64 = PARSEC_PROFILES.iter().map(|p| p.l3_sigma_s).sum::<f64>() / 12.0;
         assert!(l2ss("facesim") > l2_mean);
         assert!(l2ss("ferret") > l2_mean);
         assert!(l3ss("freqmine") > l3_mean);

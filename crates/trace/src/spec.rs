@@ -138,7 +138,10 @@ mod tests {
         // consistent in aggregate: class-0 benchmarks have the lowest mean
         // combined footprint, class-3 the highest.
         let mean = |class: u8| {
-            let v: Vec<_> = SPEC_PROFILES.iter().filter(|p| p.class == Some(class)).collect();
+            let v: Vec<_> = SPEC_PROFILES
+                .iter()
+                .filter(|p| p.class == Some(class))
+                .collect();
             v.iter().map(|p| p.l2_acf + p.l3_acf).sum::<f64>() / v.len() as f64
         };
         assert!(mean(0) < mean(3));

@@ -21,8 +21,7 @@
 //! every topology under comparison observes the identical trace.
 
 use crate::profile::BenchmarkProfile;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use morphcache::Xoshiro256pp;
 
 /// One memory reference (line-granular).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,7 +81,14 @@ impl StreamConfig {
     /// Configuration for thread `thread` of a 16-thread (or `n_threads`)
     /// multithreaded application.
     pub fn thread_of(app_id: usize, thread: usize, n_threads: usize, seed: u64) -> Self {
-        Self { app_id, thread, n_threads, seed, l2_slice_lines: 4096, l3_slice_lines: 16384 }
+        Self {
+            app_id,
+            thread,
+            n_threads,
+            seed,
+            l2_slice_lines: 4096,
+            l3_slice_lines: 16384,
+        }
     }
 
     /// Rescales the calibration basis for a scaled-down hierarchy.
@@ -125,7 +131,7 @@ const RING_FACTOR: u64 = 8;
 pub struct SyntheticStream {
     profile: BenchmarkProfile,
     config: StreamConfig,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     // Address bases (line-granular).
     private_base: u64,
     shared_base: u64,
@@ -159,7 +165,7 @@ pub struct SyntheticStream {
 impl SyntheticStream {
     /// Creates a stream for `profile` with the given placement.
     pub fn new(profile: BenchmarkProfile, config: StreamConfig) -> Self {
-        let mut rng = StdRng::seed_from_u64(
+        let mut rng = Xoshiro256pp::seed_from_u64(
             config
                 .seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -243,7 +249,7 @@ impl SyntheticStream {
         let p = &self.profile;
         // Temporal factors: unit-mean AR(1) processes whose stationary
         // deviation matches the published σ_t (relative to the mean ACF).
-        let step = |state: f64, rel_sigma: f64, rng: &mut StdRng| -> f64 {
+        let step = |state: f64, rel_sigma: f64, rng: &mut Xoshiro256pp| -> f64 {
             let innovation = rel_sigma * (1.0 - PHASE_RHO * PHASE_RHO).sqrt();
             (1.0 + PHASE_RHO * (state - 1.0) + innovation * standard_normal(rng)).max(0.2)
         };
@@ -270,28 +276,29 @@ impl SyntheticStream {
         // Streamers walk an overflow-sized L3 region regardless of their
         // (low) published L3 ACF: the ACF is the active fraction of a
         // far larger footprint (see `BenchmarkProfile::streamer`).
-        let d3 = demand(p.l3_acf, p.l3_high() || p.streamer, self.config.l3_slice_lines);
+        let d3 = demand(
+            p.l3_acf,
+            p.l3_high() || p.streamer,
+            self.config.l3_slice_lines,
+        );
         let private2 = (1.0 - p.sharing) * d2 * self.fs2 * ft2;
         let private3 = (1.0 - p.sharing) * d3 * self.fs3 * ft3;
         self.hot_size = sized(private2);
         self.warm_size = sized(private3).max(self.hot_size + self.hot_size / 4);
         // Windows drift so prior-epoch data goes stale.
-        self.hot_off = (self.hot_off
-            + (HOT_TURNOVER * self.hot_size as f64) as u64)
-            % self.ring;
-        self.warm_off = (self.warm_off
-            + (WARM_TURNOVER * self.warm_size as f64) as u64)
-            % self.ring;
+        self.hot_off = (self.hot_off + (HOT_TURNOVER * self.hot_size as f64) as u64) % self.ring;
+        self.warm_off =
+            (self.warm_off + (WARM_TURNOVER * self.warm_size as f64) as u64) % self.ring;
     }
 }
 
 /// Draws `max(0.2, 1 + relative_sigma * z)` with `z ~ N(0,1)`.
-fn phase_factor(rng: &mut StdRng, relative_sigma: f64) -> f64 {
+fn phase_factor(rng: &mut Xoshiro256pp, relative_sigma: f64) -> f64 {
     (1.0 + relative_sigma * standard_normal(rng)).max(0.2)
 }
 
 /// Box–Muller standard normal from two uniform draws.
-fn standard_normal(rng: &mut StdRng) -> f64 {
+fn standard_normal(rng: &mut Xoshiro256pp) -> f64 {
     let u1 = ((rng.next_u64() >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
     let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -388,7 +395,9 @@ mod tests {
         let p = spec::profile("gcc").unwrap();
         let mut a = SyntheticStream::new(p, StreamConfig::single_threaded(0, 1));
         let mut b = SyntheticStream::new(p, StreamConfig::single_threaded(0, 2));
-        let same = (0..100).filter(|_| a.next_access() == b.next_access()).count();
+        let same = (0..100)
+            .filter(|_| a.next_access() == b.next_access())
+            .count();
         assert!(same < 10);
     }
 
@@ -398,14 +407,17 @@ mod tests {
         // ones get overflowing regions (C / acf) so capacity sharing
         // matters (see redraw_regions).
         for (name, lo, hi) in [
-            ("hmmer", 0.31 * 4096.0 * 0.4, 0.31 * 4096.0 * 2.0),       // fitting
-            ("libquantum", 0.26 * 4096.0 * 0.4, 0.26 * 4096.0 * 2.0),  // fitting
-            ("cactusADM", 4096.0, 4096.0 / 0.74 * 2.0),                // overflow
+            ("hmmer", 0.31 * 4096.0 * 0.4, 0.31 * 4096.0 * 2.0), // fitting
+            ("libquantum", 0.26 * 4096.0 * 0.4, 0.26 * 4096.0 * 2.0), // fitting
+            ("cactusADM", 4096.0, 4096.0 / 0.74 * 2.0),          // overflow
         ] {
             let p = spec::profile(name).unwrap();
             let s = SyntheticStream::new(p, StreamConfig::single_threaded(0, 7));
             let hot = s.hot_footprint() as f64;
-            assert!(hot > lo && hot < hi, "{name}: hot {hot} not in ({lo}, {hi})");
+            assert!(
+                hot > lo && hot < hi,
+                "{name}: hot {hot} not in ({lo}, {hi})"
+            );
         }
     }
 
@@ -435,7 +447,10 @@ mod tests {
         let l0 = unique_lines(&mut t0, 20_000);
         let l1 = unique_lines(&mut t1, 20_000);
         let common = l0.intersection(&l1).count();
-        assert!(common > 100, "dedup threads must share data, common={common}");
+        assert!(
+            common > 100,
+            "dedup threads must share data, common={common}"
+        );
         // Low-sharing benchmark shares much less.
         let p2 = parsec::profile("blackscholes").unwrap();
         let mut u0 = SyntheticStream::new(p2, StreamConfig::thread_of(1, 0, 16, 5));
@@ -510,12 +525,20 @@ mod tests {
         assert!(libq.streamer);
         let s = SyntheticStream::new(libq, StreamConfig::single_threaded(0, 9));
         // Warm footprint of a streamer exceeds one L3 slice by far.
-        assert!(s.warm_footprint() > 16384, "streamer warm = {}", s.warm_footprint());
+        assert!(
+            s.warm_footprint() > 16384,
+            "streamer warm = {}",
+            s.warm_footprint()
+        );
         // A non-streamer low-L3 benchmark stays within its slice.
         let perl = spec::profile("perlbench").unwrap();
         assert!(!perl.streamer);
         let s2 = SyntheticStream::new(perl, StreamConfig::single_threaded(0, 9));
-        assert!(s2.warm_footprint() < 16384, "fitting warm = {}", s2.warm_footprint());
+        assert!(
+            s2.warm_footprint() < 16384,
+            "fitting warm = {}",
+            s2.warm_footprint()
+        );
     }
 
     #[test]

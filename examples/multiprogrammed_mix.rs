@@ -15,15 +15,19 @@ fn main() {
     cfg.n_epochs = 6;
     cfg.epoch_cycles = 1_500_000;
     let mix = Workload::mix(mix_id).expect("mix id must be 1..=12");
-    println!("{}: {}", mix.name(), match &mix {
-        Workload::Mix(m) => m
-            .benchmarks
-            .iter()
-            .map(|b| b.name)
-            .collect::<Vec<_>>()
-            .join(", "),
-        _ => unreachable!(),
-    });
+    println!(
+        "{}: {}",
+        mix.name(),
+        match &mix {
+            Workload::Mix(m) => m
+                .benchmarks
+                .iter()
+                .map(|b| b.name)
+                .collect::<Vec<_>>()
+                .join(", "),
+            _ => unreachable!(),
+        }
+    );
 
     let jobs = vec![
         (mix.clone(), Policy::baseline(16)),
@@ -33,7 +37,7 @@ fn main() {
         (mix.clone(), Policy::Pipp),
         (mix.clone(), Policy::Dsr),
     ];
-    let results = run_matrix(&cfg, &jobs);
+    let results = run_matrix(&cfg, &jobs).expect("runs complete");
     let base = results[0].mean_throughput();
     for r in &results {
         println!(
@@ -50,6 +54,9 @@ fn main() {
         morph.asymmetric_fraction() * 100.0
     );
     if let Some(last) = morph.epochs.last() {
-        println!("final topology: L2 {}  L3 {}", last.l2_grouping, last.l3_grouping);
+        println!(
+            "final topology: L2 {}  L3 {}",
+            last.l2_grouping, last.l3_grouping
+        );
     }
 }

@@ -22,7 +22,7 @@ fn main() {
         (wl.clone(), Policy::static_topology("1:16:1", 16)),
         (wl.clone(), Policy::morph(&cfg)),
     ];
-    let results = run_matrix(&cfg, &jobs);
+    let results = run_matrix(&cfg, &jobs).expect("runs complete");
     let base = results[0].mean_throughput();
     for r in &results {
         println!(

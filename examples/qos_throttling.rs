@@ -22,10 +22,13 @@ fn main() {
         (mix.clone(), Policy::morph(&cfg)),
         (mix.clone(), Policy::morph_qos(&cfg)),
     ];
-    let results = run_matrix(&cfg, &jobs);
+    let results = run_matrix(&cfg, &jobs).expect("runs complete");
     let fair = results[0].mean_ipcs();
 
-    println!("{}: per-application slowdown vs private fair share", mix.name());
+    println!(
+        "{}: per-application slowdown vs private fair share",
+        mix.name()
+    );
     for r in &results[1..] {
         let ipcs = r.mean_ipcs();
         let worst = ipcs

@@ -8,11 +8,15 @@ fn main() {
     cfg.epoch_cycles = 1_500_000; // keep the demo under a couple of minutes
     let mix = Workload::mix(1).expect("MIX 01 exists");
 
-    let base = run_workload(&cfg, &mix, &Policy::baseline(16));
-    let morph = run_workload(&cfg, &mix, &Policy::morph(&cfg));
+    let base = run_workload(&cfg, &mix, &Policy::baseline(16)).expect("baseline run completes");
+    let morph = run_workload(&cfg, &mix, &Policy::morph(&cfg)).expect("morph run completes");
 
     println!("workload: {}", mix.name());
-    println!("  {:<12} throughput {:.3}", base.policy_name, base.mean_throughput());
+    println!(
+        "  {:<12} throughput {:.3}",
+        base.policy_name,
+        base.mean_throughput()
+    );
     println!(
         "  {:<12} throughput {:.3}  ({:+.1}% vs baseline, {} reconfigs, {:.0}% asymmetric)",
         morph.policy_name,

@@ -5,11 +5,14 @@
 //! morph list                                   # workloads and policies
 //! morph run --mix 3 --policy morph --epochs 8  # one multiprogrammed run
 //! morph run --parsec dedup --policy 4:4:1      # one multithreaded run
+//! morph run --mix 1 --faults "pin=0@3"         # fault-injected run
+//! morph run --mix 1 --validate-only            # check config, don't run
 //! morph compare --mix 5                        # all policies on one mix
 //! ```
 
-use morph_system::experiment::{run_matrix, run_workload};
+use morph_system::experiment::{run_matrix, run_workload, run_workload_faulted};
 use morph_system::prelude::*;
+
 use morph_trace::{mixes, parsec, spec};
 
 fn main() {
@@ -24,7 +27,13 @@ fn main() {
             eprintln!("  morph run --mix <1..12> | --parsec <name> | --apps a,b,c,...");
             eprintln!("            [--policy <x:y:z|morph|morph-qos|pipp|dsr|ideal>]");
             eprintln!("            [--epochs N] [--cycles N] [--seed N] [--cores N]");
+            eprintln!("            [--faults <spec>] [--validate-only]");
             eprintln!("  morph compare --mix <1..12> | --parsec <name> [--epochs N] [--cycles N]");
+            eprintln!();
+            eprintln!("  --faults spec: semicolon-separated clauses, e.g.");
+            eprintln!("      seed=42;acfv@1;drop=5000@2;pin=0@3;merge@4;split@5");
+            eprintln!("  --validate-only: check configuration, policy and fault spec,");
+            eprintln!("      then exit without simulating");
             2
         }
     };
@@ -54,6 +63,8 @@ struct Opts {
     cycles: u64,
     seed: u64,
     cores: usize,
+    faults: Option<String>,
+    validate_only: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -64,11 +75,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cycles: 1_500_000,
         seed: 0xC0FFEE,
         cores: 16,
+        faults: None,
+        validate_only: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
-            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
             "--mix" => {
@@ -86,6 +101,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--cycles" => o.cycles = val("--cycles")?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--cores" => o.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--faults" => o.faults = Some(val("--faults")?),
+            "--validate-only" => o.validate_only = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -96,7 +113,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn config(o: &Opts) -> SystemConfig {
-    let mut cfg = SystemConfig::paper(o.cores).with_seed(o.seed).with_epochs(o.epochs);
+    let mut cfg = SystemConfig::paper(o.cores)
+        .with_seed(o.seed)
+        .with_epochs(o.epochs);
     cfg.epoch_cycles = o.cycles;
     cfg
 }
@@ -110,6 +129,17 @@ fn policy(name: &str, cfg: &SystemConfig) -> Result<Policy, String> {
         "ideal" => Policy::ideal_paper_set(),
         topo => Policy::Static(SymmetricTopology::parse(topo, cfg.n_cores())?),
     })
+}
+
+fn parse_faults(o: &Opts, cfg: &SystemConfig) -> Result<Option<FaultPlan>, MorphError> {
+    match &o.faults {
+        None => Ok(None),
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec)?;
+            plan.validate(cfg.n_cores())?;
+            Ok(Some(plan))
+        }
+    }
 }
 
 fn cmd_run(args: &[String]) -> i32 {
@@ -128,8 +158,49 @@ fn cmd_run(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let plan = match parse_faults(&o, &cfg) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let w = o.workload.expect("validated");
-    let r = run_workload(&cfg, &w, &p);
+    if o.validate_only {
+        // Construct (but do not run) the simulator: this exercises config
+        // validation, topology/policy fit, and the fault spec.
+        let sim = SystemSim::new(cfg, &w, &p).and_then(|s| match plan {
+            Some(plan) => s.with_faults(Box::new(plan)),
+            None => Ok(s),
+        });
+        return match sim {
+            Ok(_) => {
+                println!(
+                    "configuration OK: {} cores, {} epochs x {} cycles, policy {}",
+                    cfg.n_cores(),
+                    cfg.n_epochs,
+                    cfg.epoch_cycles,
+                    p.name()
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("invalid configuration: {e}");
+                1
+            }
+        };
+    }
+    let r = match plan {
+        Some(plan) => run_workload_faulted(&cfg, &w, &p, Box::new(plan)),
+        None => run_workload(&cfg, &w, &p),
+    };
+    let r = match r {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return 1;
+        }
+    };
     println!("{} under {}:", r.workload_name, r.policy_name);
     for e in &r.epochs {
         println!(
@@ -160,12 +231,20 @@ fn cmd_compare(args: &[String]) -> i32 {
     };
     let cfg = config(&o);
     let w = o.workload.expect("validated");
-    let names = ["16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr"];
+    let names = [
+        "16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr",
+    ];
     let jobs: Vec<(Workload, Policy)> = names
         .iter()
         .map(|n| (w.clone(), policy(n, &cfg).expect("builtin policy")))
         .collect();
-    let results = run_matrix(&cfg, &jobs);
+    let results = match run_matrix(&cfg, &jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return 1;
+        }
+    };
     let base = results[0].mean_throughput();
     println!("{}:", w.name());
     for r in &results {

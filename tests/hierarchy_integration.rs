@@ -34,10 +34,13 @@ fn inclusion_holds_across_workload_and_regrouping() {
     for (i, shape) in shapes.iter().enumerate() {
         // L3 merges before L2 follows (inclusion-safe order).
         h.set_l2_grouping(Grouping::private(4)).unwrap();
-        h.set_l3_grouping(Grouping::from_groups(4, shape.clone()).unwrap()).unwrap();
-        h.set_l2_grouping(Grouping::from_groups(4, shape.clone()).unwrap()).unwrap();
+        h.set_l3_grouping(Grouping::from_groups(4, shape.clone()).unwrap())
+            .unwrap();
+        h.set_l2_grouping(Grouping::from_groups(4, shape.clone()).unwrap())
+            .unwrap();
         sched.run_epoch(&mut cores, &mut ss, &mut h, &mut sink, 20_000);
-        h.check_inclusion().unwrap_or_else(|e| panic!("phase {i}: {e}"));
+        h.check_inclusion()
+            .unwrap_or_else(|e| panic!("phase {i}: {e}"));
         for s in &mut ss {
             s.advance_epoch();
         }
@@ -90,9 +93,9 @@ fn identical_traces_reach_all_memory_systems() {
         let mut ss = streams(&["gcc", "mcf", "astar", "milc"], 5);
         let mut sink = NoopSink;
         let mut total = 0u64;
-        for c in 0..4usize {
+        for (c, stream) in ss.iter_mut().enumerate() {
             for _ in 0..5_000 {
-                let a = ss[c].next_access();
+                let a = stream.next_access();
                 total += sys.access(c, a.line, a.is_write, &mut sink);
             }
         }

@@ -1,0 +1,128 @@
+//! Resilience-layer integration tests: typed configuration errors, fault
+//! injection, and the forward-progress watchdog, all through the public
+//! driver API. The contract under test: every injected fault ends in a
+//! completed run with finite degraded statistics or in a structured
+//! `MorphError` — never a panic, never a hang.
+
+use morph_system::experiment::{run_workload, run_workload_faulted};
+use morph_system::prelude::*;
+
+fn cfg() -> SystemConfig {
+    SystemConfig::quick_test(4).with_epochs(4)
+}
+
+fn workload() -> Workload {
+    Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).expect("known benchmarks")
+}
+
+#[test]
+fn invalid_configs_are_rejected_with_typed_errors() {
+    let w = workload();
+    type Breaker = Box<dyn Fn(&mut SystemConfig)>;
+    let cases: Vec<(&str, Breaker)> = vec![
+        ("epoch_cycles", Box::new(|c| c.epoch_cycles = 0)),
+        ("quantum", Box::new(|c| c.quantum = 0)),
+        ("quantum", Box::new(|c| c.quantum = c.epoch_cycles * 2)),
+        ("n_epochs", Box::new(|c| c.n_epochs = 0)),
+        ("n_cores", Box::new(|c| c.hierarchy.n_cores = 6)),
+    ];
+    for (field, break_it) in cases {
+        let mut bad = cfg();
+        break_it(&mut bad);
+        match run_workload(&bad, &w, &Policy::baseline(4)) {
+            Err(MorphError::InvalidConfig { field: f, .. }) => assert_eq!(f, field),
+            other => panic!("{field}: expected InvalidConfig, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn every_fault_class_completes_or_errors_structurally() {
+    let cfg = cfg();
+    let w = workload();
+    let specs = [
+        "seed=1;acfv@1;acfv@3",
+        "seed=2;drop=5000@1;drop=20000@3",
+        "seed=3;merge@2",
+        "seed=4;split@2",
+        "seed=5;acfv@1;drop=5000@2;merge@3;split@4",
+        "seed=6;pin=2@3",
+    ];
+    for spec in specs {
+        let plan = FaultPlan::parse(spec).unwrap();
+        match run_workload_faulted(&cfg, &w, &Policy::morph(&cfg), Box::new(plan)) {
+            Ok(r) => {
+                assert_eq!(r.epochs.len(), cfg.n_epochs, "{spec}");
+                assert!(
+                    r.epochs
+                        .iter()
+                        .all(|e| e.throughput().is_finite() && e.throughput() > 0.0),
+                    "{spec}: degraded stats must stay valid"
+                );
+            }
+            Err(MorphError::Stalled { diagnostic, .. }) => {
+                // Only the MSHR pin may starve a core, and it must carry
+                // its diagnostic rather than hang.
+                assert!(spec.contains("pin="), "{spec}: unexpected stall");
+                assert_eq!(diagnostic.mshr_outstanding.len(), 4, "{spec}");
+            }
+            Err(other) => panic!("{spec}: unexpected error {other}"),
+        }
+    }
+}
+
+#[test]
+fn pinned_mshr_yields_stalled_error_with_diagnostics() {
+    let cfg = cfg();
+    let w = workload();
+    let plan = FaultPlan::parse("pin=0@2").unwrap();
+    match run_workload_faulted(&cfg, &w, &Policy::morph(&cfg), Box::new(plan)) {
+        Err(MorphError::Stalled {
+            epoch,
+            core,
+            diagnostic,
+        }) => {
+            assert_eq!((epoch, core), (2, 0));
+            assert!(diagnostic.mshr_outstanding[0] > 0);
+            assert!(diagnostic.retired < 16u64.max(cfg.epoch_cycles / 10_000));
+            // The error formats into a human-readable diagnostic.
+            let msg = MorphError::Stalled {
+                epoch,
+                core,
+                diagnostic,
+            }
+            .to_string();
+            assert!(msg.contains("stalled"), "{msg}");
+        }
+        other => panic!("expected Stalled, got {other:?}"),
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic_per_seed() {
+    let cfg = cfg();
+    let w = workload();
+    let run = |seed: u64| {
+        let plan = FaultPlan::parse(&format!("seed={seed};acfv@1;drop=8000@2;merge@3")).unwrap();
+        run_workload_faulted(&cfg, &w, &Policy::morph(&cfg), Box::new(plan))
+            .unwrap()
+            .throughput_series()
+    };
+    assert_eq!(run(42), run(42), "same fault seed, same results");
+}
+
+#[test]
+fn clean_and_nofault_runs_agree() {
+    // An installed-but-empty fault plan must not perturb the simulation.
+    let cfg = cfg();
+    let w = workload();
+    let clean = run_workload(&cfg, &w, &Policy::morph(&cfg)).unwrap();
+    let noop = run_workload_faulted(
+        &cfg,
+        &w,
+        &Policy::morph(&cfg),
+        Box::new(FaultPlan::parse("seed=7").unwrap()),
+    )
+    .unwrap();
+    assert_eq!(clean.throughput_series(), noop.throughput_series());
+}

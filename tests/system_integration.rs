@@ -9,8 +9,10 @@ fn cfg() -> SystemConfig {
 }
 
 fn mixed_workload() -> Workload {
-    Workload::named_apps(&["cactus", "libq", "gobmk", "perl", "wrf", "gamess", "gcc", "lbm"])
-        .expect("known benchmarks")
+    Workload::named_apps(&[
+        "cactus", "libq", "gobmk", "perl", "wrf", "gamess", "gcc", "lbm",
+    ])
+    .expect("known benchmarks")
 }
 
 #[test]
@@ -27,7 +29,7 @@ fn every_policy_completes_and_reports() {
         Policy::Dsr,
     ];
     for p in policies {
-        let r = run_workload(&cfg, &w, &p);
+        let r = run_workload(&cfg, &w, &p).unwrap();
         assert_eq!(r.epochs.len(), cfg.n_epochs, "{}", r.policy_name);
         assert!(r.mean_throughput() > 0.0, "{}", r.policy_name);
         assert!(
@@ -41,18 +43,17 @@ fn every_policy_completes_and_reports() {
 #[test]
 fn morph_groupings_always_valid_partitions() {
     let cfg = cfg();
-    let r = run_workload(&cfg, &mixed_workload(), &Policy::morph(&cfg));
+    let r = run_workload(&cfg, &mixed_workload(), &Policy::morph(&cfg)).unwrap();
     for e in &r.epochs {
         // Every slice id appears exactly once in the canonical description.
         for level in [&e.l2_grouping, &e.l3_grouping] {
-            let mut seen = vec![false; 8];
+            let mut seen = [false; 8];
             for part in level.trim_matches(['[', ']']).split("][") {
                 if let Some((a, b)) = part.split_once('-') {
-                    let (a, b): (usize, usize) =
-                        (a.parse().unwrap(), b.parse().unwrap());
-                    for s in a..=b {
-                        assert!(!seen[s], "slice {s} twice in {level}");
-                        seen[s] = true;
+                    let (a, b): (usize, usize) = (a.parse().unwrap(), b.parse().unwrap());
+                    for (s, slot) in seen.iter_mut().enumerate().take(b + 1).skip(a) {
+                        assert!(!*slot, "slice {s} twice in {level}");
+                        *slot = true;
                     }
                 } else {
                     for sstr in part.split(',') {
@@ -71,8 +72,8 @@ fn morph_groupings_always_valid_partitions() {
 fn runs_are_reproducible() {
     let cfg = cfg();
     let w = mixed_workload();
-    let a = run_workload(&cfg, &w, &Policy::morph(&cfg));
-    let b = run_workload(&cfg, &w, &Policy::morph(&cfg));
+    let a = run_workload(&cfg, &w, &Policy::morph(&cfg)).unwrap();
+    let b = run_workload(&cfg, &w, &Policy::morph(&cfg)).unwrap();
     assert_eq!(a.throughput_series(), b.throughput_series());
     assert_eq!(a.total_reconfigs(), b.total_reconfigs());
 }
@@ -81,8 +82,8 @@ fn runs_are_reproducible() {
 fn seeds_change_results() {
     let cfg = cfg();
     let w = mixed_workload();
-    let a = run_workload(&cfg, &w, &Policy::baseline(8));
-    let b = run_workload(&cfg.with_seed(999), &w, &Policy::baseline(8));
+    let a = run_workload(&cfg, &w, &Policy::baseline(8)).unwrap();
+    let b = run_workload(&cfg.with_seed(999), &w, &Policy::baseline(8)).unwrap();
     assert_ne!(a.throughput_series(), b.throughput_series());
 }
 
@@ -91,14 +92,18 @@ fn matrix_runner_matches_serial_runner() {
     let cfg = cfg();
     let w = mixed_workload();
     let jobs = vec![(w.clone(), Policy::baseline(8)), (w.clone(), Policy::Dsr)];
-    let par = run_matrix(&cfg, &jobs);
+    let par = run_matrix(&cfg, &jobs).unwrap();
     assert_eq!(
         par[0].mean_throughput(),
-        run_workload(&cfg, &w, &Policy::baseline(8)).mean_throughput()
+        run_workload(&cfg, &w, &Policy::baseline(8))
+            .unwrap()
+            .mean_throughput()
     );
     assert_eq!(
         par[1].mean_throughput(),
-        run_workload(&cfg, &w, &Policy::Dsr).mean_throughput()
+        run_workload(&cfg, &w, &Policy::Dsr)
+            .unwrap()
+            .mean_throughput()
     );
 }
 
@@ -106,7 +111,7 @@ fn matrix_runner_matches_serial_runner() {
 fn multithreaded_workload_runs_under_morph() {
     let cfg = cfg();
     let w = Workload::parsec("dedup").expect("dedup profile");
-    let r = run_workload(&cfg, &w, &Policy::morph(&cfg));
+    let r = run_workload(&cfg, &w, &Policy::morph(&cfg)).unwrap();
     assert!(r.mean_throughput() > 0.0);
     // Threads share an address space, so sharing-driven merges are legal;
     // whatever happened, groupings stayed canonical.
@@ -127,7 +132,7 @@ fn ideal_offline_at_least_matches_its_worst_candidate() {
         (w.clone(), Policy::Static(cands[1])),
         (w.clone(), Policy::IdealOffline(cands.clone())),
     ];
-    let r = run_matrix(&cfg, &jobs);
+    let r = run_matrix(&cfg, &jobs).unwrap();
     let worst = r[0].mean_throughput().min(r[1].mean_throughput());
     assert!(
         r[2].mean_throughput() >= worst * 0.95,
