@@ -1,4 +1,4 @@
-//! Dynamic Spill-Receive (DSR) [18], extended to both private levels as in
+//! Dynamic Spill-Receive (DSR) \[18\], extended to both private levels as in
 //! Fig. 17.
 //!
 //! Every core keeps its private L2 and L3 slices, but each slice *duels*
@@ -189,9 +189,16 @@ pub struct DsrSystem {
     stamp: u64,
     /// Per-core L3 miss counts.
     pub l3_misses_by_core: Vec<u64>,
+    /// Snapshot of `l3_misses_by_core` at the last
+    /// [`begin_miss_window`](Self::begin_miss_window).
+    window_start: Vec<u64>,
 }
 
 impl DsrSystem {
+    /// Canonical grouping description for report rows: every slice stays
+    /// private under DSR (spilling is not a topology change).
+    pub const GROUPING_LABEL: &'static str = "DSR private";
+
     /// Builds a DSR system with per-core private slices at L2 and L3.
     pub fn new(
         n_cores: usize,
@@ -211,7 +218,25 @@ impl DsrSystem {
             latency,
             stamp: 0,
             l3_misses_by_core: vec![0; n_cores],
+            window_start: vec![0; n_cores],
         }
+    }
+
+    /// Starts a per-epoch miss measurement window: subsequent
+    /// [`window_misses`](Self::window_misses) calls report L3 misses
+    /// accumulated since this point.
+    pub fn begin_miss_window(&mut self) {
+        self.window_start.clone_from(&self.l3_misses_by_core);
+    }
+
+    /// Per-core L3 misses since the last
+    /// [`begin_miss_window`](Self::begin_miss_window) (or construction).
+    pub fn window_misses(&self) -> Vec<u64> {
+        self.l3_misses_by_core
+            .iter()
+            .zip(self.window_start.iter())
+            .map(|(a, b)| a - b)
+            .collect()
     }
 
     /// The learned role of core `c`'s L2 slice.

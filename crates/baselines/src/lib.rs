@@ -5,12 +5,12 @@
 //! L2 + L3 hierarchy exactly as the paper describes:
 //!
 //! * [`pipp`] — **Promotion/Insertion Pseudo-Partitioning** (Xie & Loh,
-//!   ISCA 2009 [28]) applied to a fully shared cache at each level: new
+//!   ISCA 2009 \[28\]) applied to a fully shared cache at each level: new
 //!   lines are inserted at a priority position equal to the owning core's
 //!   allocated way count (computed by UCP lookahead partitioning over
 //!   UMON utility monitors), and promoted by a single position on hits
 //!   with fixed probability.
-//! * [`dsr`] — **Dynamic Spill-Receive** (Qureshi, HPCA 2009 [18]) applied
+//! * [`dsr`] — **Dynamic Spill-Receive** (Qureshi, HPCA 2009 \[18\]) applied
 //!   to per-core private caches at each level: set-dueling PSEL counters
 //!   teach each cache whether to act as a *spiller* (evicted lines are
 //!   spilled into a receiver's matching set) or a *receiver*.

@@ -1,4 +1,4 @@
-//! Promotion/Insertion Pseudo-Partitioning (PIPP) [28], extended to both
+//! Promotion/Insertion Pseudo-Partitioning (PIPP) \[28\], extended to both
 //! L2 and L3 as in Fig. 17.
 //!
 //! PIPP manages a *fully shared* cache with a single mechanism:
@@ -256,9 +256,16 @@ pub struct PippSystem {
     stamp: u64,
     /// Per-core miss counts at the L3 (for reporting).
     pub l3_misses_by_core: Vec<u64>,
+    /// Snapshot of `l3_misses_by_core` at the last
+    /// [`begin_miss_window`](Self::begin_miss_window).
+    window_start: Vec<u64>,
 }
 
 impl PippSystem {
+    /// Canonical grouping description for report rows: both levels are
+    /// fully shared under PIPP, with no topology to describe.
+    pub const GROUPING_LABEL: &'static str = "PIPP shared";
+
     /// Builds a PIPP system with `n_cores` cores, aggregating the per-slice
     /// geometries into one shared cache per level (16 × 256 KB 8-way
     /// slices → one 4 MB 128-way shared L2, etc.), which is the paper's
@@ -283,7 +290,25 @@ impl PippSystem {
             rng: Xoshiro256pp::seed_from_u64(0x9e3779b97f4a7c15),
             stamp: 0,
             l3_misses_by_core: vec![0; n_cores],
+            window_start: vec![0; n_cores],
         }
+    }
+
+    /// Starts a per-epoch miss measurement window: subsequent
+    /// [`window_misses`](Self::window_misses) calls report L3 misses
+    /// accumulated since this point.
+    pub fn begin_miss_window(&mut self) {
+        self.window_start.clone_from(&self.l3_misses_by_core);
+    }
+
+    /// Per-core L3 misses since the last
+    /// [`begin_miss_window`](Self::begin_miss_window) (or construction).
+    pub fn window_misses(&self) -> Vec<u64> {
+        self.l3_misses_by_core
+            .iter()
+            .zip(self.window_start.iter())
+            .map(|(a, b)| a - b)
+            .collect()
     }
 
     /// Current L2 way allocations (one per core).

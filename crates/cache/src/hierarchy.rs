@@ -463,6 +463,32 @@ impl Hierarchy {
         self.params.latency.l3_merged = l3_merged;
     }
 
+    /// Combined per-core L2 + L3 miss counts since the last
+    /// [`reset_stats`](Self::reset_stats) (the per-epoch miss statistic
+    /// the MorphCache engine and the QoS analysis consume).
+    pub fn misses_by_core(&self) -> Vec<u64> {
+        self.l2
+            .stats
+            .misses_by_core
+            .iter()
+            .zip(self.l3.stats.misses_by_core.iter())
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    /// Worst covering-span inflation over the non-singleton groups of a
+    /// slice grouping: 1.0 for buddy-aligned groupings, larger when a
+    /// logical group rides a physical superset segment (§5.5 relaxed
+    /// groupings). Distant group members pay a latency penalty
+    /// proportional to this factor on the segmented bus.
+    pub fn span_factor(groups: &[Vec<usize>]) -> f64 {
+        groups
+            .iter()
+            .filter(|g| g.len() > 1)
+            .map(|g| morphcache::topology::covering_pow2_span(g) as f64 / g.len() as f64)
+            .fold(1.0, f64::max)
+    }
+
     /// Resets all statistics counters (cache contents are preserved).
     pub fn reset_stats(&mut self) {
         self.l1_stats.reset();
@@ -670,6 +696,32 @@ mod tests {
             h.access(0, l, false, &mut sink);
         }
         assert!(h.memory_writebacks >= 1, "dirty L3 victim must write back");
+    }
+
+    #[test]
+    fn misses_by_core_sums_both_groupable_levels() {
+        let mut h = h4();
+        let mut sink = NoopSink;
+        h.access(0, 0x1000, false, &mut sink); // cold: misses L2 and L3
+        h.access(1, 0x2000, false, &mut sink);
+        let m = h.misses_by_core();
+        assert_eq!(m.len(), 4);
+        assert_eq!(m[0], 2, "one L2 miss + one L3 miss");
+        assert_eq!(m[1], 2);
+        assert_eq!(m[2], 0);
+        h.reset_stats();
+        assert_eq!(h.misses_by_core(), vec![0; 4]);
+    }
+
+    #[test]
+    fn span_factor_penalizes_sparse_groups() {
+        assert_eq!(Hierarchy::span_factor(&[vec![0, 1], vec![2], vec![3]]), 1.0);
+        assert_eq!(
+            Hierarchy::span_factor(&[vec![0], vec![1], vec![2], vec![3]]),
+            1.0
+        );
+        assert_eq!(Hierarchy::span_factor(&[vec![0, 3], vec![1], vec![2]]), 2.0);
+        assert!((Hierarchy::span_factor(&[vec![0, 1, 2], vec![3]]) - 4.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! Replacement policies: exact LRU (via monotonic stamps) and the
-//! generalized tree pseudo-LRU of Robinson [24] that the paper discusses
+//! generalized tree pseudo-LRU of Robinson \[24\] that the paper discusses
 //! when merging slices (§2.2).
 //!
 //! Exact LRU is the policy the paper uses for all MorphCache experiments

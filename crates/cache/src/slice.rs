@@ -290,7 +290,7 @@ impl CacheLevel {
         &mut self.slices[s]
     }
 
-    /// Replaces the grouping. The caller (the [`Hierarchy`]) is responsible
+    /// Replaces the grouping. The caller (the [`Hierarchy`](crate::Hierarchy)) is responsible
     /// for inclusion checks between levels.
     ///
     /// # Errors

@@ -1,6 +1,6 @@
 //! Hardware hash functions for ACFV indexing (Fig. 5 compares XOR and
 //! modulo hashing; efficient hardware implementations are surveyed in
-//! Ramakrishna et al. [22]).
+//! Ramakrishna et al. \[22\]).
 
 /// Which hash maps a cache tag to an ACFV bit index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

@@ -9,7 +9,7 @@
 //! * non-memory instructions, issued `issue_width` per cycle — the stream's
 //!   benchmark profile fixes the instructions-per-memory-access ratio;
 //! * memory accesses, whose latency comes from the attached
-//!   [`MemorySubsystem`](morph_cache::MemorySubsystem); stall cycles beyond
+//!   [`MemorySubsystem`]; stall cycles beyond
 //!   the L1 latency are discounted by a memory-level-parallelism factor
 //!   (bounded by the 8-entry L1 MSHR file of the paper's configuration).
 //!
@@ -231,6 +231,18 @@ impl QuantumScheduler {
     }
 }
 
+/// Closes the current measurement window on every core, returning one
+/// progress snapshot per core in core order (the per-epoch progress
+/// vector the epoch loop consumes).
+pub fn take_epoch_progress(cores: &mut [Core]) -> Vec<CoreProgress> {
+    cores.iter_mut().map(Core::take_progress).collect()
+}
+
+/// Per-core IPCs of a progress vector, in the same order.
+pub fn epoch_ipcs(progress: &[CoreProgress]) -> Vec<f64> {
+    progress.iter().map(CoreProgress::ipc).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +345,20 @@ mod tests {
     #[should_panic(expected = "quantum")]
     fn zero_quantum_panics() {
         QuantumScheduler::new(0);
+    }
+
+    #[test]
+    fn epoch_progress_helpers_cover_all_cores() {
+        let mut mem = Hierarchy::new(HierarchyParams::scaled_down(2));
+        let mut cores: Vec<Core> = (0..2).map(|i| Core::new(i, CoreParams::paper())).collect();
+        let mut streams: Vec<SyntheticStream> = (0..2).map(|i| stream(i, "gcc")).collect();
+        let mut sink = NoopSink;
+        QuantumScheduler::new(500).run_epoch(&mut cores, &mut streams, &mut mem, &mut sink, 5_000);
+        let progress = take_epoch_progress(&mut cores);
+        assert_eq!(progress.len(), 2);
+        let ipcs = epoch_ipcs(&progress);
+        assert!(ipcs.iter().all(|&i| i > 0.0));
+        // The window was consumed: a second take reports an empty window.
+        assert_eq!(take_epoch_progress(&mut cores)[0].instructions, 0);
     }
 }

@@ -7,14 +7,18 @@
 //! * **weighted speedup** (WS) — `Σ IPC_i / IPC_alone_i`, "gives equal
 //!   weight to the relative performance of each application" (§5.1);
 //! * **fair speedup** (FS) — the harmonic mean of per-application
-//!   speedups, which "balances both fairness and performance" [25];
+//!   speedups, which "balances both fairness and performance" \[25\];
 //! * **Pearson correlation** — used by the Fig. 5 ACFV-vs-oracle study;
-//! * fixed-width table rendering for the benchmark harness output.
+//! * fixed-width table rendering for the benchmark harness output;
+//! * wall-clock accounting ([`MatrixTiming`]) for the parallel
+//!   experiment matrix (cells/sec, speedup over a serial schedule).
 
 pub mod speedup;
 pub mod stats;
 pub mod table;
+pub mod timing;
 
 pub use speedup::{fair_speedup, throughput, weighted_speedup};
 pub use stats::{geometric_mean, mean, pearson, std_dev};
 pub use table::Table;
+pub use timing::MatrixTiming;

@@ -27,7 +27,7 @@ pub fn weighted_speedup(ipcs: &[f64], alone: &[f64]) -> f64 {
 }
 
 /// Fair speedup: the harmonic mean of per-application speedups,
-/// `N / Σ (IPC_alone_i / IPC_i)` (Smith [25]).
+/// `N / Σ (IPC_alone_i / IPC_i)` (Smith \[25\]).
 ///
 /// Returns 0 if any application made no progress.
 ///

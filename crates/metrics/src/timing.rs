@@ -1,0 +1,70 @@
+//! Wall-clock accounting for the parallel experiment matrix: per-cell
+//! compute seconds plus the elapsed wall time, from which the harness
+//! reports cells/sec and the speedup over a serial schedule.
+
+/// Timing of one matrix run: how long each cell took on its worker
+/// thread, and how long the whole matrix took end to end.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MatrixTiming {
+    /// Elapsed wall-clock seconds for the whole matrix.
+    pub wall_seconds: f64,
+    /// Per-cell compute seconds, in cell order.
+    pub cell_seconds: Vec<f64>,
+}
+
+impl MatrixTiming {
+    /// Number of cells timed.
+    pub fn cells(&self) -> usize {
+        self.cell_seconds.len()
+    }
+
+    /// Sum of per-cell compute seconds — the wall time a serial schedule
+    /// would have needed (modulo scheduling noise).
+    pub fn serial_seconds(&self) -> f64 {
+        self.cell_seconds.iter().sum()
+    }
+
+    /// Cells completed per wall-clock second (0 for an empty matrix).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.cells() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Speedup of the observed wall time over the serial schedule
+    /// (1.0 when nothing was timed).
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.wall_seconds > 0.0 && !self.cell_seconds.is_empty() {
+            self.serial_seconds() / self.wall_seconds
+        } else {
+            1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let t = MatrixTiming {
+            wall_seconds: 2.0,
+            cell_seconds: vec![1.0, 1.5, 1.5],
+        };
+        assert_eq!(t.cells(), 3);
+        assert_eq!(t.serial_seconds(), 4.0);
+        assert_eq!(t.cells_per_sec(), 1.5);
+        assert_eq!(t.parallel_speedup(), 2.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_well_defined() {
+        let t = MatrixTiming::default();
+        assert_eq!(t.cells(), 0);
+        assert_eq!(t.cells_per_sec(), 0.0);
+        assert_eq!(t.parallel_speedup(), 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! The static-topology backend: an LRU hierarchy pinned to one
+//! `(x:y:z)` grouping for the whole run.
+
+use super::apply_groups;
+use crate::config::SystemConfig;
+use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend};
+use morph_cache::{CacheEventSink, CoreId, Hierarchy, Line};
+use morphcache::{MorphError, SymmetricTopology};
+
+/// An LRU hierarchy with a fixed topology and the paper's static-latency
+/// assumption (10/30-cycle L2/L3 hits regardless of sharing).
+pub struct StaticBackend {
+    hier: Box<Hierarchy>,
+}
+
+impl StaticBackend {
+    /// Builds the hierarchy and installs topology `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Topology`] if `t` does not cover the
+    /// configured core count, and [`MorphError::Grouping`] if its
+    /// groupings cannot be installed.
+    pub fn new(cfg: &SystemConfig, t: SymmetricTopology) -> Result<Self, MorphError> {
+        let n = cfg.n_cores();
+        if t.x * t.y * t.z != n {
+            return Err(MorphError::Topology(format!(
+                "topology {t} does not cover {n} cores"
+            )));
+        }
+        let mut hp = cfg.hierarchy;
+        hp.latency = hp.latency.paper_static();
+        let mut hier = Hierarchy::new(hp);
+        apply_groups(&mut hier, &t.l2_groups(), &t.l3_groups()).map_err(MorphError::Grouping)?;
+        Ok(Self {
+            hier: Box::new(hier),
+        })
+    }
+}
+
+impl MemoryBackend for StaticBackend {
+    fn access(
+        &mut self,
+        core: CoreId,
+        line: Line,
+        is_write: bool,
+        probe: &mut dyn CacheEventSink,
+    ) -> u64 {
+        self.hier.access(core, line, is_write, probe)
+    }
+
+    fn begin_epoch(&mut self, _ctx: &mut EpochCtx<'_>) -> Result<(), MorphError> {
+        self.hier.reset_stats();
+        Ok(())
+    }
+
+    fn epoch_boundary(
+        &mut self,
+        _ctx: &mut EpochCtx<'_>,
+        _ipcs: &[f64],
+        _misses: &[u64],
+    ) -> Result<BoundaryReport, MorphError> {
+        Ok(BoundaryReport::default())
+    }
+
+    fn misses_by_core(&self) -> Vec<u64> {
+        self.hier.misses_by_core()
+    }
+
+    fn grouping_labels(&self) -> (String, String) {
+        (
+            self.hier.l2().grouping().describe(),
+            self.hier.l3().grouping().describe(),
+        )
+    }
+
+    fn as_hierarchy(&self) -> Option<&Hierarchy> {
+        Some(&self.hier)
+    }
+}

@@ -1,0 +1,259 @@
+//! The epoch loop: drives a [`MemoryBackend`] through the per-epoch
+//! protocol (begin → run → watchdog → boundary), plus the
+//! forward-progress watchdog and the post-reconfigure grouping
+//! validation/repair the MorphCache backend runs at every boundary.
+
+use crate::faults::{FaultInjector, FaultedMemory};
+use crate::policy::{EpochCtx, MemoryBackend};
+use crate::sim::{EpochResult, SystemSim};
+use morph_cache::{CacheEventSink, CoreId, Line, MemorySubsystem};
+use morph_cpu::{epoch_ipcs, take_epoch_progress, CoreProgress};
+use morph_trace::stream::AccessStream;
+use morphcache::topology::{is_partition, meet, refines};
+use morphcache::{MorphError, ReconfigOutcome, StallDiagnostic};
+
+/// Adapts a [`MemoryBackend`] to the scheduler's
+/// [`MemorySubsystem`] interface: accesses route through the backend
+/// (which may interpose its own sinks ahead of the probe).
+pub(crate) struct BackendMemory<'a> {
+    pub backend: &'a mut dyn MemoryBackend,
+    pub n_cores: usize,
+}
+
+impl MemorySubsystem for BackendMemory<'_> {
+    fn access(
+        &mut self,
+        core: CoreId,
+        line: Line,
+        is_write: bool,
+        sink: &mut dyn CacheEventSink,
+    ) -> u64 {
+        self.backend.access(core, line, is_write, sink)
+    }
+
+    fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+}
+
+/// Runs one epoch of `sim`, duplicating all cache events into `probe`.
+///
+/// # Errors
+///
+/// Returns [`MorphError::Stalled`] if the forward-progress watchdog
+/// detects a core below the per-epoch retirement floor, and
+/// [`MorphError::Grouping`] / [`MorphError::Topology`] if a
+/// reconfiguration produces a topology that cannot be repaired.
+pub(crate) fn run_epoch(
+    sim: &mut SystemSim,
+    probe: &mut dyn CacheEventSink,
+) -> Result<EpochResult, MorphError> {
+    let epoch = sim.epoch;
+    let cycles = sim.cfg.epoch_cycles;
+    let n = sim.cfg.n_cores();
+    let scheduler = sim.scheduler;
+    let SystemSim {
+        backend,
+        cores,
+        streams,
+        faults,
+        ..
+    } = sim;
+    faults.begin_epoch(epoch, cycles, n);
+    backend.begin_epoch(&mut EpochCtx {
+        epoch,
+        cycles,
+        scheduler,
+        cores: &mut *cores,
+        streams: &mut *streams,
+        faults: faults.as_mut(),
+    })?;
+    {
+        let mut mem = BackendMemory {
+            backend: backend.as_mut(),
+            n_cores: n,
+        };
+        if faults.is_noop() {
+            scheduler.run_epoch(cores, streams, &mut mem, probe, cycles);
+        } else {
+            let mut mem = FaultedMemory::new(&mut mem, faults.as_mut());
+            scheduler.run_epoch(cores, streams, &mut mem, probe, cycles);
+        }
+    }
+    let progress = take_epoch_progress(cores);
+    check_forward_progress(
+        epoch,
+        cycles,
+        &progress,
+        faults.as_ref(),
+        backend.reconfig_outcome(),
+    )?;
+    let ipcs = epoch_ipcs(&progress);
+    let misses = backend.misses_by_core();
+    let report = backend.epoch_boundary(
+        &mut EpochCtx {
+            epoch,
+            cycles,
+            scheduler,
+            cores: &mut *cores,
+            streams: &mut *streams,
+            faults: faults.as_mut(),
+        },
+        &ipcs,
+        &misses,
+    )?;
+    let (l2_grouping, l3_grouping) = backend.grouping_labels();
+    for s in streams.iter_mut() {
+        s.advance_epoch();
+    }
+    sim.epoch += 1;
+    Ok(EpochResult {
+        epoch,
+        ipcs,
+        misses_by_core: misses,
+        reconfig_events: report.reconfig_events,
+        asymmetric_events: report.asymmetric_events,
+        asymmetric: report.asymmetric,
+        l2_grouping,
+        l3_grouping,
+        chosen_topology: report.chosen_topology,
+    })
+}
+
+/// The forward-progress watchdog: every core must retire at least
+/// `max(16, epoch_cycles / 10_000)` instructions per epoch. A healthy
+/// core, even one bound by memory latency on every access, retires orders
+/// of magnitude more; a core whose misses cannot complete (pinned MSHR
+/// entries, a wedged arbiter) retires at most one access's worth.
+pub(crate) fn check_forward_progress(
+    epoch: u64,
+    epoch_cycles: u64,
+    progress: &[CoreProgress],
+    faults: &dyn FaultInjector,
+    last_reconfig: Option<&ReconfigOutcome>,
+) -> Result<(), MorphError> {
+    let floor = 16u64.max(epoch_cycles / 10_000);
+    for (core, p) in progress.iter().enumerate() {
+        if p.instructions < floor {
+            return Err(MorphError::Stalled {
+                epoch,
+                core,
+                diagnostic: Box::new(StallDiagnostic {
+                    retired: p.instructions,
+                    cycles: epoch_cycles,
+                    mshr_outstanding: faults.mshr_outstanding(),
+                    bus_pending: faults.bus_pending(),
+                    last_reconfig: last_reconfig.cloned(),
+                }),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A pair of slice groupings, L2 first.
+type GroupPair = (Vec<Vec<usize>>, Vec<Vec<usize>>);
+
+/// Post-reconfigure invariant check with repair: both groupings must
+/// partition the slices (non-partitions are rejected — there is no safe
+/// repair for slices that vanished or appear twice), and L2 must refine
+/// L3 for inclusion to be maintainable. A refinement violation is
+/// repaired by installing the meet of the two groupings at L2, which
+/// refines both operands.
+pub fn validate_and_repair(
+    epoch: u64,
+    n: usize,
+    l2: Vec<Vec<usize>>,
+    l3: Vec<Vec<usize>>,
+) -> Result<GroupPair, MorphError> {
+    if !is_partition(&l2, n) {
+        return Err(MorphError::Grouping(format!(
+            "epoch {epoch}: L2 groups do not partition {n} slices: {l2:?}"
+        )));
+    }
+    if !is_partition(&l3, n) {
+        return Err(MorphError::Grouping(format!(
+            "epoch {epoch}: L3 groups do not partition {n} slices: {l3:?}"
+        )));
+    }
+    let l2 = if refines(&l2, &l3) {
+        l2
+    } else {
+        meet(&l2, &l3)
+    };
+    Ok((l2, l3))
+}
+
+/// Forces a merge of the first two L3 groups (fault injection). L3 only
+/// gets coarser, so L2 still refines it.
+pub(crate) fn force_l3_merge(outcome: &mut ReconfigOutcome) {
+    if outcome.l3_groups.len() >= 2 {
+        let second = outcome.l3_groups.remove(1);
+        outcome.l3_groups[0].extend(second);
+        outcome.l3_groups[0].sort_unstable();
+    }
+}
+
+/// Forces an L3-only split of the first non-singleton group (fault
+/// injection). Deliberately does NOT touch L2, so an L2 group spanning
+/// the split violates refinement and exercises the repair path.
+pub(crate) fn force_l3_split(outcome: &mut ReconfigOutcome) {
+    if let Some(g) = outcome.l3_groups.iter_mut().find(|g| g.len() >= 2) {
+        let tail = g.split_off(g.len() / 2);
+        outcome.l3_groups.push(tail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_and_repair_rejects_non_partitions() {
+        // Slice 3 missing from L2.
+        let err = validate_and_repair(0, 4, vec![vec![0, 1], vec![2]], vec![vec![0, 1, 2, 3]]);
+        assert!(matches!(err, Err(MorphError::Grouping(_))));
+        // Slice 1 duplicated in L3.
+        let err = validate_and_repair(
+            0,
+            4,
+            vec![vec![0], vec![1], vec![2], vec![3]],
+            vec![vec![0, 1], vec![1, 2, 3]],
+        );
+        assert!(matches!(err, Err(MorphError::Grouping(_))));
+    }
+
+    #[test]
+    fn validate_and_repair_restores_refinement() {
+        // L2 group [0,1] spans two L3 groups [0] and [1]: repaired by the
+        // meet, which splits the L2 group.
+        let (l2, l3) = validate_and_repair(
+            0,
+            4,
+            vec![vec![0, 1], vec![2, 3]],
+            vec![vec![0], vec![1], vec![2, 3]],
+        )
+        .unwrap();
+        assert!(refines(&l2, &l3));
+        assert!(is_partition(&l2, 4));
+        assert_eq!(l3, vec![vec![0], vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn forced_merge_and_split_are_repaired_into_valid_topologies() {
+        let mut outcome = ReconfigOutcome {
+            l2_groups: vec![vec![0, 1], vec![2, 3]],
+            l3_groups: vec![vec![0, 1], vec![2, 3]],
+            events: Vec::new(),
+            asymmetric: false,
+        };
+        force_l3_merge(&mut outcome);
+        assert_eq!(outcome.l3_groups, vec![vec![0, 1, 2, 3]]);
+        force_l3_split(&mut outcome);
+        // The split broke nothing L2 refines, but must still be a
+        // partition and repairable.
+        let (l2, l3) = validate_and_repair(0, 4, outcome.l2_groups, outcome.l3_groups).unwrap();
+        assert!(is_partition(&l3, 4));
+        assert!(refines(&l2, &l3));
+    }
+}

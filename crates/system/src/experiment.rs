@@ -1,11 +1,22 @@
-//! One-call experiment runners used by the benches, examples and tests.
+//! One-call experiment runners used by the CLI, benches, examples and
+//! tests, including the parallel experiment matrix.
+//!
+//! The matrix fans independent (workload, policy) cells out over scoped
+//! worker threads ([`run_cells`]). Every cell carries its own seed
+//! ([`MatrixCell::seed`]), so a cell's run is a pure function of the cell
+//! — results are bit-identical whether the matrix runs on 1 thread or 16,
+//! and in the same input order regardless of completion order.
 
 use crate::config::SystemConfig;
 use crate::faults::FaultInjector;
 use crate::policy::Policy;
 use crate::sim::{EpochResult, SystemSim};
 use crate::workload::Workload;
+use morph_metrics::MatrixTiming;
 use morphcache::MorphError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The full result of one policy × workload run.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,8 +140,134 @@ fn finish_run(
     })
 }
 
-/// Runs several (workload, policy) jobs in parallel (one thread per job,
-/// bounded by the host's parallelism), preserving input order.
+/// One cell of the experiment matrix: a (workload, policy) pair with the
+/// workload RNG seed pinned at construction, so the cell's result does
+/// not depend on which thread runs it or in what order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// The workload the cell runs.
+    pub workload: Workload,
+    /// The policy the cell runs it under.
+    pub policy: Policy,
+    /// The workload RNG seed for this cell.
+    pub seed: u64,
+}
+
+impl MatrixCell {
+    /// A cell running `workload` under `policy` with `seed`.
+    pub fn new(workload: Workload, policy: Policy, seed: u64) -> Self {
+        Self {
+            workload,
+            policy,
+            seed,
+        }
+    }
+
+    /// Cells for a (workload, policy) job list, every cell pinned to the
+    /// configuration's seed (the historical [`run_matrix`] behavior).
+    pub fn from_jobs(cfg: &SystemConfig, jobs: &[(Workload, Policy)]) -> Vec<Self> {
+        jobs.iter()
+            .map(|(w, p)| Self::new(w.clone(), p.clone(), cfg.seed))
+            .collect()
+    }
+}
+
+/// The results of a parallel matrix run, with per-cell wall-clock timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentMatrix {
+    /// Per-cell results, in input order.
+    pub results: Vec<RunResult>,
+    /// Wall-clock and per-cell timing of the run.
+    pub timing: MatrixTiming,
+    /// Worker threads the matrix ran on.
+    pub jobs: usize,
+}
+
+/// The default worker count for [`run_cells`]: the host's available
+/// parallelism (or 4 if the host will not say).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs every cell of the matrix on `jobs` scoped worker threads,
+/// preserving input order in the results.
+///
+/// Each cell runs `cfg` re-seeded with [`MatrixCell::seed`], so results
+/// are byte-identical for any `jobs` value — worker assignment only
+/// changes which thread computes a cell, never what the cell computes.
+/// Workers pull cells from a shared queue, so a slow cell does not
+/// serialize the rest of its "chunk".
+///
+/// # Errors
+///
+/// Returns the first failing cell's [`MorphError`] (in input order);
+/// results of the other cells are discarded. A panicking cell is reported
+/// as [`MorphError::Workload`] without poisoning the others.
+pub fn run_cells(
+    cfg: &SystemConfig,
+    cells: &[MatrixCell],
+    jobs: usize,
+) -> Result<ExperimentMatrix, MorphError> {
+    let wall = Instant::now();
+    let workers = jobs.max(1).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<(Result<RunResult, MorphError>, f64)>> = Vec::new();
+    slots.resize_with(cells.len(), || None);
+    std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(cell) = cells.get(i) else { break };
+                        let start = Instant::now();
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            run_workload(&cfg.with_seed(cell.seed), &cell.workload, &cell.policy)
+                        }))
+                        .unwrap_or_else(|_| {
+                            Err(MorphError::Workload(format!(
+                                "experiment thread for cell {i} panicked"
+                            )))
+                        });
+                        mine.push((i, result, start.elapsed().as_secs_f64()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Ok(mine) = h.join() {
+                for (i, result, secs) in mine {
+                    slots[i] = Some((result, secs));
+                }
+            }
+        }
+    });
+    let mut results = Vec::with_capacity(cells.len());
+    let mut cell_seconds = Vec::with_capacity(cells.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        let (result, secs) =
+            slot.ok_or_else(|| MorphError::Workload(format!("cell {i} never ran")))?;
+        results.push(result?);
+        cell_seconds.push(secs);
+    }
+    Ok(ExperimentMatrix {
+        results,
+        timing: MatrixTiming {
+            wall_seconds: wall.elapsed().as_secs_f64(),
+            cell_seconds,
+        },
+        jobs: workers,
+    })
+}
+
+/// Runs several (workload, policy) jobs in parallel with every cell on
+/// the configuration's seed, preserving input order. Compatibility
+/// wrapper over [`run_cells`] with [`default_jobs`] workers.
 ///
 /// # Errors
 ///
@@ -140,52 +277,35 @@ pub fn run_matrix(
     cfg: &SystemConfig,
     jobs: &[(Workload, Policy)],
 ) -> Result<Vec<RunResult>, MorphError> {
-    let max_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut results: Vec<Option<Result<RunResult, MorphError>>> = vec![None; jobs.len()];
-    for chunk_indices in (0..jobs.len()).collect::<Vec<_>>().chunks(max_threads) {
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for &i in chunk_indices {
-                let (w, p) = &jobs[i];
-                handles.push((i, scope.spawn(move || run_workload(cfg, w, p))));
-            }
-            for (i, h) in handles {
-                results[i] = Some(match h.join() {
-                    Ok(r) => r,
-                    Err(_) => Err(MorphError::Workload(format!(
-                        "experiment thread {i} panicked"
-                    ))),
-                });
-            }
-        });
-    }
-    results
-        .into_iter()
-        .map(|r| r.unwrap_or_else(|| Err(MorphError::Workload("job never ran".into()))))
-        .collect()
+    Ok(run_cells(cfg, &MatrixCell::from_jobs(cfg, jobs), default_jobs())?.results)
 }
 
 /// Per-application "alone" IPCs for the weighted/fair speedup metrics:
 /// each application runs by itself on a single-core hierarchy with the
-/// same slice geometry.
+/// same slice geometry. The solo runs are independent, so they fan out
+/// through [`run_cells`] like any other matrix.
 ///
 /// # Errors
 ///
 /// Returns a [`MorphError`] if any solo run fails (see [`run_workload`]).
 pub fn alone_ipcs(cfg: &SystemConfig, workload: &Workload) -> Result<Vec<f64>, MorphError> {
-    let n = cfg.n_cores();
-    (0..n)
+    let mut solo_cfg = *cfg;
+    solo_cfg.hierarchy.n_cores = 1;
+    let cells: Vec<MatrixCell> = (0..cfg.n_cores())
         .map(|c| {
-            let profile = workload.profile_of(c);
-            let mut solo_cfg = *cfg;
-            solo_cfg.hierarchy.n_cores = 1;
-            let solo = Workload::Apps(vec![profile]);
-            let result = run_workload(&solo_cfg, &solo, &Policy::baseline(1))?;
-            Ok(result.mean_ipcs()[0])
+            MatrixCell::new(
+                Workload::Apps(vec![workload.profile_of(c)]),
+                Policy::baseline(1),
+                cfg.seed,
+            )
         })
-        .collect()
+        .collect();
+    let matrix = run_cells(&solo_cfg, &cells, default_jobs())?;
+    Ok(matrix
+        .results
+        .iter()
+        .map(|r| r.mean_ipcs().first().copied().unwrap_or(0.0))
+        .collect())
 }
 
 #[cfg(test)]
@@ -219,8 +339,53 @@ mod tests {
             run_workload(&cfg, &w1, &Policy::baseline(4)).unwrap(),
             run_workload(&cfg, &w2, &Policy::static_topology("1:1:4", 4)).unwrap(),
         ];
-        assert_eq!(par[0].mean_throughput(), ser[0].mean_throughput());
-        assert_eq!(par[1].mean_throughput(), ser[1].mean_throughput());
+        assert_eq!(par[0], ser[0]);
+        assert_eq!(par[1], ser[1]);
+    }
+
+    #[test]
+    fn run_cells_records_timing_per_cell() {
+        let cfg = SystemConfig::quick_test(4).with_epochs(2);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let cells = vec![
+            MatrixCell::new(w.clone(), Policy::baseline(4), 1),
+            MatrixCell::new(w.clone(), Policy::Pipp, 2),
+            MatrixCell::new(w, Policy::Dsr, 3),
+        ];
+        let m = run_cells(&cfg, &cells, 2).unwrap();
+        assert_eq!(m.results.len(), 3);
+        assert_eq!(m.timing.cells(), 3);
+        assert_eq!(m.jobs, 2);
+        assert!(m.timing.wall_seconds > 0.0);
+        assert!(m.timing.cell_seconds.iter().all(|&s| s > 0.0));
+        assert!(m.timing.cells_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn run_cells_distinct_seeds_give_distinct_runs() {
+        let cfg = SystemConfig::quick_test(4).with_epochs(2);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let cells = vec![
+            MatrixCell::new(w.clone(), Policy::baseline(4), 7),
+            MatrixCell::new(w, Policy::baseline(4), 8),
+        ];
+        let m = run_cells(&cfg, &cells, 2).unwrap();
+        assert_ne!(m.results[0].epochs, m.results[1].epochs);
+    }
+
+    #[test]
+    fn run_cells_reports_first_error_in_input_order() {
+        let cfg = SystemConfig::quick_test(4).with_epochs(2);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        // Cell 1 has a topology for the wrong core count.
+        let bad = Policy::Static(morphcache::SymmetricTopology::new(4, 4, 1, 16).unwrap());
+        let cells = vec![
+            MatrixCell::new(w.clone(), Policy::baseline(4), 0),
+            MatrixCell::new(w.clone(), bad, 0),
+            MatrixCell::new(w, Policy::Pipp, 0),
+        ];
+        let err = run_cells(&cfg, &cells, 4).unwrap_err();
+        assert!(matches!(err, MorphError::Topology(_)), "{err}");
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! Every injected fault must leave the simulation in one of two states:
 //! a completed run with valid (degraded) statistics, or a structured
 //! [`MorphError`] — never a panic, never a hang. The forward-progress
-//! watchdog in the epoch loop (see `sim.rs`) converts the
+//! watchdog in the epoch loop (see `epoch.rs`) converts the
 //! otherwise-silent stalls (a pinned MSHR starving a core) into
 //! [`MorphError::Stalled`] diagnostics.
 //!
@@ -75,8 +75,11 @@ pub enum FaultKind {
 /// epoch and skips all wrapping when it returns `true`, keeping the
 /// normal path free of fault-injection overhead.
 ///
+/// `Send` is a supertrait so a faulted simulator can run as a cell of
+/// the parallel experiment matrix like any clean one.
+///
 /// [`is_noop`]: FaultInjector::is_noop
-pub trait FaultInjector {
+pub trait FaultInjector: Send {
     /// Whether this injector never does anything (enables the fast path).
     fn is_noop(&self) -> bool {
         true

@@ -12,13 +12,18 @@
 //! * [`config`] — [`config::SystemConfig`]: geometry, epochs, seeds;
 //! * [`workload`] — [`workload::Workload`]: a Table 5 mix, an arbitrary
 //!   application list, or a 16-thread PARSEC application;
-//! * [`policy`] — [`policy::Policy`]: which cache-management scheme runs;
-//! * [`sim`] — [`sim::SystemSim`]: the epoch loop;
+//! * [`policy`] — [`policy::Policy`] and the [`policy::MemoryBackend`]
+//!   trait every scheme runs through;
+//! * [`backend`] — the five backend implementations and
+//!   [`backend::from_policy`];
+//! * [`sim`] — [`sim::SystemSim`]: the simulator shell (the epoch
+//!   protocol itself lives in a private `epoch` module);
 //! * [`probes`] — event-sink probes (engine adapter, oracle footprints,
 //!   ACFV sweeps for Fig. 5);
 //! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
 //!   and the [`faults::FaultInjector`] trait;
-//! * [`experiment`] — one-call runners used by the benches and examples.
+//! * [`experiment`] — one-call runners used by the benches and examples,
+//!   including the parallel matrix ([`experiment::run_cells`]).
 //!
 //! All public driver APIs return `Result<_, MorphError>`: configuration
 //! problems surface as [`morphcache::MorphError::InvalidConfig`] before a
@@ -40,7 +45,9 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod backend;
 pub mod config;
+mod epoch;
 pub mod experiment;
 pub mod faults;
 pub mod policy;
@@ -48,13 +55,20 @@ pub mod probes;
 pub mod sim;
 pub mod workload;
 
+pub use epoch::validate_and_repair;
+
 /// Convenient glob-import surface for examples and benches.
 pub mod prelude {
+    pub use crate::backend::from_policy;
     pub use crate::config::SystemConfig;
-    pub use crate::experiment::{alone_ipcs, run_workload, RunResult};
+    pub use crate::experiment::{
+        alone_ipcs, default_jobs, run_cells, run_matrix, run_workload, run_workload_faulted,
+        ExperimentMatrix, MatrixCell, RunResult,
+    };
     pub use crate::faults::{FaultInjector, FaultKind, FaultPlan, NoFaults};
-    pub use crate::policy::Policy;
+    pub use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend, Policy};
     pub use crate::sim::{EpochResult, SystemSim};
     pub use crate::workload::Workload;
+    pub use morph_metrics::MatrixTiming;
     pub use morphcache::{MorphError, StallDiagnostic, SymmetricTopology};
 }

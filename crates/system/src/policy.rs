@@ -1,7 +1,130 @@
-//! Topology / cache-management policies a run can use.
+//! Topology / cache-management policies a run can use, and the
+//! [`MemoryBackend`] trait every one of them runs through.
 
 use crate::config::SystemConfig;
-use morphcache::{GroupingMode, MorphConfig, SymmetricTopology};
+use crate::faults::FaultInjector;
+use morph_cache::{CacheEventSink, CoreId, Hierarchy, Line};
+use morph_cpu::{Core, QuantumScheduler};
+use morph_trace::stream::SyntheticStream;
+use morphcache::{
+    GroupingMode, MorphConfig, MorphEngine, MorphError, ReconfigOutcome, SymmetricTopology,
+};
+
+/// Context the epoch loop hands a backend at the edges of an epoch: the
+/// cores and streams (so a backend can clone them for trial runs), the
+/// scheduler driving them, and the fault injector whose decisions apply
+/// this epoch.
+pub struct EpochCtx<'a> {
+    /// 0-based index of the epoch being run (warm-up epochs included).
+    pub epoch: u64,
+    /// Cycles the measured portion of the epoch runs for.
+    pub cycles: u64,
+    /// The scheduler driving the cores.
+    pub scheduler: QuantumScheduler,
+    /// The cores about to run (or just finished running) this epoch.
+    pub cores: &'a mut Vec<Core>,
+    /// The per-core access streams feeding the cores.
+    pub streams: &'a mut Vec<SyntheticStream>,
+    /// The fault injector active for this run.
+    pub faults: &'a mut dyn FaultInjector,
+}
+
+/// What a backend did at an epoch boundary, folded into the epoch's
+/// [`EpochResult`](crate::sim::EpochResult). The default is the
+/// "nothing reconfigured" report of the static schemes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BoundaryReport {
+    /// Reconfigurations (merges + splits) performed at the boundary.
+    pub reconfig_events: usize,
+    /// How many of those left an asymmetric configuration (§2.4).
+    pub asymmetric_events: usize,
+    /// Whether the configuration after the boundary is asymmetric.
+    pub asymmetric: bool,
+    /// For the ideal offline scheme: the topology chosen for the epoch.
+    pub chosen_topology: Option<String>,
+}
+
+/// A memory system pluggable into the epoch-driven simulator.
+///
+/// All five policies — static topologies, MorphCache, the §5.1 ideal
+/// offline scheme, PIPP and DSR — implement this trait (see
+/// [`crate::backend`]), so the epoch loop, fault injection and event
+/// probes treat them uniformly, and new policies are plug-ins rather
+/// than new enum arms. The trait is object-safe and `Send`, which is
+/// what lets [`crate::experiment::run_cells`] fan independent matrix
+/// cells out across threads.
+///
+/// The epoch protocol, driven by the loop in `epoch.rs`:
+///
+/// 1. [`begin_epoch`](Self::begin_epoch) — reset per-epoch statistics,
+///    read fault decisions, optionally trial-run and commit a topology;
+/// 2. [`access`](Self::access) — every memory access of the epoch; the
+///    backend may interpose its own event sinks ahead of `probe`;
+/// 3. [`misses_by_core`](Self::misses_by_core) — the epoch's per-core
+///    miss counts, read after the run;
+/// 4. [`epoch_boundary`](Self::epoch_boundary) — digest the epoch's
+///    IPCs/misses and reconfigure, returning a [`BoundaryReport`];
+/// 5. [`grouping_labels`](Self::grouping_labels) — the canonical
+///    post-boundary grouping descriptions for the epoch's result row.
+pub trait MemoryBackend: Send {
+    /// Serves one access by `core` to `line`, returning the latency in
+    /// core cycles. Cache events must reach `probe`; a backend may tee
+    /// them into private sinks of its own first.
+    fn access(
+        &mut self,
+        core: CoreId,
+        line: Line,
+        is_write: bool,
+        probe: &mut dyn CacheEventSink,
+    ) -> u64;
+
+    /// Prepares the backend for an epoch: statistics windows open here,
+    /// and backends that pick a topology per epoch (the ideal offline
+    /// scheme) trial-run and commit it here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MorphError`] if the backend cannot set up the epoch
+    /// (e.g. no candidate topology is applicable).
+    fn begin_epoch(&mut self, ctx: &mut EpochCtx<'_>) -> Result<(), MorphError>;
+
+    /// Digests the finished epoch (per-core `ipcs` and `misses`) and
+    /// performs any end-of-epoch reconfiguration or repartitioning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Grouping`] / [`MorphError::Topology`] if a
+    /// reconfiguration produces a topology that cannot be repaired.
+    fn epoch_boundary(
+        &mut self,
+        ctx: &mut EpochCtx<'_>,
+        ipcs: &[f64],
+        misses: &[u64],
+    ) -> Result<BoundaryReport, MorphError>;
+
+    /// Per-core miss counts accumulated since
+    /// [`begin_epoch`](Self::begin_epoch).
+    fn misses_by_core(&self) -> Vec<u64>;
+
+    /// Canonical descriptions of the (L2, L3) groupings, read after the
+    /// epoch boundary for the result row.
+    fn grouping_labels(&self) -> (String, String);
+
+    /// The most recent reconfiguration outcome, for stall diagnostics.
+    fn reconfig_outcome(&self) -> Option<&ReconfigOutcome> {
+        None
+    }
+
+    /// The LRU hierarchy, if this backend is built on one.
+    fn as_hierarchy(&self) -> Option<&Hierarchy> {
+        None
+    }
+
+    /// The MorphCache engine, if this backend runs one.
+    fn engine(&self) -> Option<&MorphEngine> {
+        None
+    }
+}
 
 /// Which cache-management scheme manages the hierarchy.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,9 +138,9 @@ pub enum Policy {
     /// The §5.1 ideal offline scheme: every epoch is run under each
     /// candidate static topology from a snapshot and the best is kept.
     IdealOffline(Vec<SymmetricTopology>),
-    /// PIPP [28] on fully shared L2 and L3.
+    /// PIPP \[28\] on fully shared L2 and L3.
     Pipp,
-    /// DSR [18] on private L2 and L3 slices.
+    /// DSR \[18\] on private L2 and L3 slices.
     Dsr,
 }
 

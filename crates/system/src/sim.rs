@@ -1,16 +1,19 @@
-//! The epoch-driven system simulator.
+//! The epoch-driven system simulator shell: cores + streams + a
+//! [`MemoryBackend`] + fault injection. The per-epoch protocol itself
+//! lives in `epoch.rs`; the backends in [`crate::backend`].
 
+use crate::backend::from_policy;
 use crate::config::SystemConfig;
-use crate::faults::{CorruptingSink, FaultInjector, FaultedMemory, NoFaults};
-use crate::policy::Policy;
-use crate::probes::{EngineSink, TeeSink};
+use crate::epoch;
+use crate::faults::{FaultInjector, NoFaults};
+use crate::policy::{MemoryBackend, Policy};
 use crate::workload::Workload;
-use morph_baselines::{DsrSystem, PippSystem};
-use morph_cache::{CacheEventSink, Grouping, Hierarchy, MemorySubsystem, NoopSink};
-use morph_cpu::{Core, CoreProgress, QuantumScheduler};
-use morph_trace::stream::{AccessStream, SyntheticStream};
-use morphcache::topology::{covering_pow2_span, is_partition, meet, refines};
-use morphcache::{MorphEngine, MorphError, ReconfigOutcome, StallDiagnostic, SymmetricTopology};
+use morph_cache::{CacheEventSink, Hierarchy, NoopSink};
+use morph_cpu::{Core, QuantumScheduler};
+use morph_trace::stream::SyntheticStream;
+use morphcache::{MorphEngine, MorphError};
+
+pub use crate::backend::apply_groups;
 
 /// Results of one simulated epoch.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,27 +46,15 @@ impl EpochResult {
     }
 }
 
-enum Backend {
-    /// LRU hierarchy with a static topology.
-    Static(Box<Hierarchy>),
-    /// LRU hierarchy managed by the MorphCache engine.
-    Morph(Box<Hierarchy>, Box<MorphEngine>),
-    /// LRU hierarchy re-chosen each epoch from static candidates (§5.1).
-    Ideal(Box<Hierarchy>, Vec<SymmetricTopology>),
-    Pipp(Box<PippSystem>),
-    Dsr(Box<DsrSystem>),
-}
-
-/// A complete simulated CMP: cores + streams + memory system + policy.
+/// A complete simulated CMP: cores + streams + memory backend + faults.
 pub struct SystemSim {
-    cfg: SystemConfig,
-    backend: Backend,
-    cores: Vec<Core>,
-    streams: Vec<SyntheticStream>,
-    scheduler: QuantumScheduler,
-    epoch: u64,
-    faults: Box<dyn FaultInjector>,
-    last_outcome: Option<ReconfigOutcome>,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) backend: Box<dyn MemoryBackend>,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) streams: Vec<SyntheticStream>,
+    pub(crate) scheduler: QuantumScheduler,
+    pub(crate) epoch: u64,
+    pub(crate) faults: Box<dyn FaultInjector>,
 }
 
 impl SystemSim {
@@ -85,71 +76,22 @@ impl SystemSim {
         policy: &Policy,
     ) -> Result<Self, MorphError> {
         cfg.validate()?;
-        let n = cfg.n_cores();
+        let backend = from_policy(&cfg, workload, policy)?;
+        Ok(Self::with_backend(cfg, workload, backend))
+    }
+
+    /// Builds a simulator around an externally constructed backend —
+    /// the plug-in entry point for policies [`Policy`] does not name.
+    /// `cfg` is trusted to be validated by the caller (or is validated
+    /// implicitly when the backend was built via [`SystemSim::new`]).
+    pub fn with_backend(
+        cfg: SystemConfig,
+        workload: &Workload,
+        backend: Box<dyn MemoryBackend>,
+    ) -> Self {
         let streams = workload.streams(&cfg);
-        let cores: Vec<Core> = (0..n).map(|c| Core::new(c, cfg.core)).collect();
-        let backend = match policy {
-            Policy::Static(t) => {
-                if t.x * t.y * t.z != n {
-                    return Err(MorphError::Topology(format!(
-                        "topology {t} does not cover {n} cores"
-                    )));
-                }
-                let mut hp = cfg.hierarchy;
-                hp.latency = hp.latency.paper_static();
-                let mut hier = Hierarchy::new(hp);
-                apply_groups(&mut hier, &t.l2_groups(), &t.l3_groups())
-                    .map_err(MorphError::Grouping)?;
-                Backend::Static(Box::new(hier))
-            }
-            Policy::Morph(mc) => {
-                // Footnote 2 of the paper: overlapping arbitration with the
-                // previous transfer reduces the merged-hit interconnect
-                // overhead from 15 to 10 core cycles. MorphCache runs with
-                // the pipelined segmented bus.
-                let mut hp = cfg.hierarchy;
-                hp.latency.l2_merged = hp.latency.l2_local + 10;
-                hp.latency.l3_merged = hp.latency.l3_local + 10;
-                let hier = Hierarchy::new(hp);
-                let engine = MorphEngine::new(n, workload.app_ids(n), *mc)?;
-                Backend::Morph(Box::new(hier), Box::new(engine))
-            }
-            Policy::IdealOffline(cands) => {
-                if cands.is_empty() {
-                    return Err(MorphError::Topology(
-                        "ideal offline scheme needs at least one candidate".into(),
-                    ));
-                }
-                for t in cands {
-                    if t.x * t.y * t.z != n {
-                        return Err(MorphError::Topology(format!(
-                            "candidate {t} does not cover {n} cores"
-                        )));
-                    }
-                }
-                let mut hp = cfg.hierarchy;
-                hp.latency = hp.latency.paper_static();
-                let mut hier = Hierarchy::new(hp);
-                apply_groups(&mut hier, &cands[0].l2_groups(), &cands[0].l3_groups())
-                    .map_err(MorphError::Grouping)?;
-                Backend::Ideal(Box::new(hier), cands.clone())
-            }
-            Policy::Pipp => Backend::Pipp(Box::new(PippSystem::new(
-                n,
-                cfg.hierarchy.l1,
-                cfg.hierarchy.l2_slice,
-                cfg.hierarchy.l3_slice,
-                cfg.hierarchy.latency,
-            ))),
-            Policy::Dsr => Backend::Dsr(Box::new(DsrSystem::new(
-                n,
-                cfg.hierarchy.l1,
-                cfg.hierarchy.l2_slice,
-                cfg.hierarchy.l3_slice,
-                cfg.hierarchy.latency,
-            ))),
-        };
-        Ok(Self {
+        let cores = (0..cfg.n_cores()).map(|c| Core::new(c, cfg.core)).collect();
+        Self {
             backend,
             cores,
             streams,
@@ -157,8 +99,7 @@ impl SystemSim {
             epoch: 0,
             cfg,
             faults: Box::new(NoFaults),
-            last_outcome: None,
-        })
+        }
     }
 
     /// Installs a fault injector (see [`crate::faults`]).
@@ -178,20 +119,19 @@ impl SystemSim {
         &self.cfg
     }
 
+    /// The backend in use.
+    pub fn backend(&self) -> &dyn MemoryBackend {
+        self.backend.as_ref()
+    }
+
     /// The MorphCache engine, if this simulator runs one.
     pub fn engine(&self) -> Option<&MorphEngine> {
-        match &self.backend {
-            Backend::Morph(_, e) => Some(e),
-            _ => None,
-        }
+        self.backend.engine()
     }
 
     /// The LRU hierarchy, if this backend has one.
     pub fn hierarchy(&self) -> Option<&Hierarchy> {
-        match &self.backend {
-            Backend::Static(h) | Backend::Morph(h, _) | Backend::Ideal(h, _) => Some(h),
-            _ => None,
-        }
+        self.backend.as_hierarchy()
     }
 
     /// Runs one epoch with no external probe.
@@ -216,299 +156,7 @@ impl SystemSim {
         &mut self,
         probe: &mut dyn CacheEventSink,
     ) -> Result<EpochResult, MorphError> {
-        let epoch = self.epoch;
-        let cycles = self.cfg.epoch_cycles;
-        let n = self.cfg.n_cores();
-        self.faults.begin_epoch(epoch, cycles, n);
-        let result = match &mut self.backend {
-            Backend::Static(hier) => {
-                hier.reset_stats();
-                if self.faults.is_noop() {
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        hier.as_mut(),
-                        probe,
-                        cycles,
-                    );
-                } else {
-                    let mut mem = FaultedMemory::new(hier.as_mut(), self.faults.as_mut());
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        &mut mem,
-                        probe,
-                        cycles,
-                    );
-                }
-                let progress = take_progress(&mut self.cores);
-                check_forward_progress(
-                    epoch,
-                    cycles,
-                    &progress,
-                    self.faults.as_ref(),
-                    self.last_outcome.as_ref(),
-                )?;
-                let misses = hierarchy_misses(hier);
-                EpochResult {
-                    epoch,
-                    ipcs: ipcs_of(&progress),
-                    misses_by_core: misses,
-                    reconfig_events: 0,
-                    asymmetric_events: 0,
-                    asymmetric: false,
-                    l2_grouping: hier.l2().grouping().describe(),
-                    l3_grouping: hier.l3().grouping().describe(),
-                    chosen_topology: None,
-                }
-            }
-            Backend::Morph(hier, engine) => {
-                hier.reset_stats();
-                {
-                    let mut esink = EngineSink::new(engine);
-                    if self.faults.is_noop() {
-                        let mut tee = TeeSink::new(&mut esink, probe);
-                        self.scheduler.run_epoch(
-                            &mut self.cores,
-                            &mut self.streams,
-                            hier.as_mut(),
-                            &mut tee,
-                            cycles,
-                        );
-                    } else {
-                        // The probe still sees clean events; only the
-                        // engine's footprint samples are scrambled.
-                        let mask = self.faults.corrupt_mask().unwrap_or(0);
-                        let mut corrupt = CorruptingSink::new(&mut esink, mask);
-                        let mut tee = TeeSink::new(&mut corrupt, probe);
-                        let mut mem = FaultedMemory::new(hier.as_mut(), self.faults.as_mut());
-                        self.scheduler.run_epoch(
-                            &mut self.cores,
-                            &mut self.streams,
-                            &mut mem,
-                            &mut tee,
-                            cycles,
-                        );
-                    }
-                }
-                let progress = take_progress(&mut self.cores);
-                check_forward_progress(
-                    epoch,
-                    cycles,
-                    &progress,
-                    self.faults.as_ref(),
-                    self.last_outcome.as_ref(),
-                )?;
-                let ipcs = ipcs_of(&progress);
-                let misses = hierarchy_misses(hier);
-                engine.note_epoch_misses(&misses);
-                engine.note_epoch_perf(&ipcs);
-                let mut outcome = engine.reconfigure(epoch)?;
-                if self.faults.force_merge() {
-                    force_l3_merge(&mut outcome);
-                }
-                if self.faults.force_split() {
-                    force_l3_split(&mut outcome);
-                }
-                let (l2g, l3g) =
-                    validate_and_repair(epoch, n, outcome.l2_groups, outcome.l3_groups)?;
-                outcome.l2_groups = l2g;
-                outcome.l3_groups = l3g;
-                apply_groups(hier, &outcome.l2_groups, &outcome.l3_groups)
-                    .map_err(MorphError::Grouping)?;
-                // §5.5 relaxed groupings: distant members pay a
-                // span-proportional bus penalty (on the pipelined bus).
-                let mut base = self.cfg.hierarchy.latency;
-                base.l2_merged = base.l2_local + 10;
-                base.l3_merged = base.l3_local + 10;
-                let f2 = span_factor(&outcome.l2_groups);
-                let f3 = span_factor(&outcome.l3_groups);
-                hier.set_merged_latencies(
-                    base.l2_local + ((base.l2_merged - base.l2_local) as f64 * f2) as u64,
-                    base.l3_local + ((base.l3_merged - base.l3_local) as f64 * f3) as u64,
-                );
-                let result = EpochResult {
-                    epoch,
-                    ipcs,
-                    misses_by_core: misses,
-                    reconfig_events: outcome.events.len(),
-                    asymmetric_events: outcome.events.iter().filter(|e| e.asymmetric_after).count(),
-                    asymmetric: outcome.asymmetric,
-                    l2_grouping: hier.l2().grouping().describe(),
-                    l3_grouping: hier.l3().grouping().describe(),
-                    chosen_topology: None,
-                };
-                self.last_outcome = Some(outcome);
-                result
-            }
-            Backend::Ideal(hier, candidates) => {
-                // Trial-run every candidate from a snapshot, keep the best.
-                let snapshot = (hier.clone(), self.cores.clone(), self.streams.clone());
-                let mut best: Option<(f64, SymmetricTopology)> = None;
-                for t in candidates.iter() {
-                    let mut h = snapshot.0.clone();
-                    let mut cs = snapshot.1.clone();
-                    let mut ss = snapshot.2.clone();
-                    if apply_groups(&mut h, &t.l2_groups(), &t.l3_groups()).is_err() {
-                        continue;
-                    }
-                    let mut noop = NoopSink;
-                    self.scheduler
-                        .run_epoch(&mut cs, &mut ss, &mut *h, &mut noop, cycles);
-                    let tp: f64 = cs.iter_mut().map(|c| c.take_progress().ipc()).sum();
-                    if best.map(|(b, _)| tp > b).unwrap_or(true) {
-                        best = Some((tp, *t));
-                    }
-                }
-                let (_, chosen) = best.ok_or_else(|| {
-                    MorphError::Topology("ideal offline: no candidate could be applied".into())
-                })?;
-                // Commit: restore the snapshot and run under the winner.
-                **hier = *snapshot.0;
-                self.cores = snapshot.1;
-                self.streams = snapshot.2;
-                apply_groups(hier, &chosen.l2_groups(), &chosen.l3_groups())
-                    .map_err(MorphError::Grouping)?;
-                hier.reset_stats();
-                if self.faults.is_noop() {
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        hier.as_mut(),
-                        probe,
-                        cycles,
-                    );
-                } else {
-                    let mut mem = FaultedMemory::new(hier.as_mut(), self.faults.as_mut());
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        &mut mem,
-                        probe,
-                        cycles,
-                    );
-                }
-                let progress = take_progress(&mut self.cores);
-                check_forward_progress(
-                    epoch,
-                    cycles,
-                    &progress,
-                    self.faults.as_ref(),
-                    self.last_outcome.as_ref(),
-                )?;
-                let misses = hierarchy_misses(hier);
-                EpochResult {
-                    epoch,
-                    ipcs: ipcs_of(&progress),
-                    misses_by_core: misses,
-                    reconfig_events: 0,
-                    asymmetric_events: 0,
-                    asymmetric: false,
-                    l2_grouping: hier.l2().grouping().describe(),
-                    l3_grouping: hier.l3().grouping().describe(),
-                    chosen_topology: Some(chosen.notation()),
-                }
-            }
-            Backend::Pipp(sys) => {
-                let before = sys.l3_misses_by_core.clone();
-                if self.faults.is_noop() {
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        &mut **sys,
-                        probe,
-                        cycles,
-                    );
-                } else {
-                    let mut mem = FaultedMemory::new(&mut **sys, self.faults.as_mut());
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        &mut mem,
-                        probe,
-                        cycles,
-                    );
-                }
-                sys.epoch_boundary();
-                let progress = take_progress(&mut self.cores);
-                check_forward_progress(
-                    epoch,
-                    cycles,
-                    &progress,
-                    self.faults.as_ref(),
-                    self.last_outcome.as_ref(),
-                )?;
-                let misses = sys
-                    .l3_misses_by_core
-                    .iter()
-                    .zip(before.iter())
-                    .map(|(a, b)| a - b)
-                    .collect();
-                EpochResult {
-                    epoch,
-                    ipcs: ipcs_of(&progress),
-                    misses_by_core: misses,
-                    reconfig_events: 0,
-                    asymmetric_events: 0,
-                    asymmetric: false,
-                    l2_grouping: "PIPP shared".into(),
-                    l3_grouping: "PIPP shared".into(),
-                    chosen_topology: None,
-                }
-            }
-            Backend::Dsr(sys) => {
-                let before = sys.l3_misses_by_core.clone();
-                if self.faults.is_noop() {
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        &mut **sys,
-                        probe,
-                        cycles,
-                    );
-                } else {
-                    let mut mem = FaultedMemory::new(&mut **sys, self.faults.as_mut());
-                    self.scheduler.run_epoch(
-                        &mut self.cores,
-                        &mut self.streams,
-                        &mut mem,
-                        probe,
-                        cycles,
-                    );
-                }
-                sys.epoch_boundary();
-                let progress = take_progress(&mut self.cores);
-                check_forward_progress(
-                    epoch,
-                    cycles,
-                    &progress,
-                    self.faults.as_ref(),
-                    self.last_outcome.as_ref(),
-                )?;
-                let misses = sys
-                    .l3_misses_by_core
-                    .iter()
-                    .zip(before.iter())
-                    .map(|(a, b)| a - b)
-                    .collect();
-                EpochResult {
-                    epoch,
-                    ipcs: ipcs_of(&progress),
-                    misses_by_core: misses,
-                    reconfig_events: 0,
-                    asymmetric_events: 0,
-                    asymmetric: false,
-                    l2_grouping: "DSR private".into(),
-                    l3_grouping: "DSR private".into(),
-                    chosen_topology: None,
-                }
-            }
-        };
-        for s in &mut self.streams {
-            s.advance_epoch();
-        }
-        self.epoch += 1;
-        Ok(result)
+        epoch::run_epoch(self, probe)
     }
 
     /// Runs the configured warm-up epochs (discarded) followed by the
@@ -526,145 +174,11 @@ impl SystemSim {
     }
 }
 
-fn take_progress(cores: &mut [Core]) -> Vec<CoreProgress> {
-    cores.iter_mut().map(|c| c.take_progress()).collect()
-}
-
-fn ipcs_of(progress: &[CoreProgress]) -> Vec<f64> {
-    progress.iter().map(CoreProgress::ipc).collect()
-}
-
-/// The forward-progress watchdog: every core must retire at least
-/// `max(16, epoch_cycles / 10_000)` instructions per epoch. A healthy
-/// core, even one bound by memory latency on every access, retires orders
-/// of magnitude more; a core whose misses cannot complete (pinned MSHR
-/// entries, a wedged arbiter) retires at most one access's worth.
-fn check_forward_progress(
-    epoch: u64,
-    epoch_cycles: u64,
-    progress: &[CoreProgress],
-    faults: &dyn FaultInjector,
-    last_reconfig: Option<&ReconfigOutcome>,
-) -> Result<(), MorphError> {
-    let floor = 16u64.max(epoch_cycles / 10_000);
-    for (core, p) in progress.iter().enumerate() {
-        if p.instructions < floor {
-            return Err(MorphError::Stalled {
-                epoch,
-                core,
-                diagnostic: Box::new(StallDiagnostic {
-                    retired: p.instructions,
-                    cycles: epoch_cycles,
-                    mshr_outstanding: faults.mshr_outstanding(),
-                    bus_pending: faults.bus_pending(),
-                    last_reconfig: last_reconfig.cloned(),
-                }),
-            });
-        }
-    }
-    Ok(())
-}
-
-/// A pair of slice groupings, L2 first.
-type GroupPair = (Vec<Vec<usize>>, Vec<Vec<usize>>);
-
-/// Post-reconfigure invariant check with repair: both groupings must
-/// partition the slices (non-partitions are rejected — there is no safe
-/// repair for slices that vanished or appear twice), and L2 must refine
-/// L3 for inclusion to be maintainable. A refinement violation is
-/// repaired by installing the meet of the two groupings at L2, which
-/// refines both operands.
-fn validate_and_repair(
-    epoch: u64,
-    n: usize,
-    l2: Vec<Vec<usize>>,
-    l3: Vec<Vec<usize>>,
-) -> Result<GroupPair, MorphError> {
-    if !is_partition(&l2, n) {
-        return Err(MorphError::Grouping(format!(
-            "epoch {epoch}: L2 groups do not partition {n} slices: {l2:?}"
-        )));
-    }
-    if !is_partition(&l3, n) {
-        return Err(MorphError::Grouping(format!(
-            "epoch {epoch}: L3 groups do not partition {n} slices: {l3:?}"
-        )));
-    }
-    let l2 = if refines(&l2, &l3) {
-        l2
-    } else {
-        meet(&l2, &l3)
-    };
-    Ok((l2, l3))
-}
-
-/// Forces a merge of the first two L3 groups (fault injection). L3 only
-/// gets coarser, so L2 still refines it.
-fn force_l3_merge(outcome: &mut ReconfigOutcome) {
-    if outcome.l3_groups.len() >= 2 {
-        let second = outcome.l3_groups.remove(1);
-        outcome.l3_groups[0].extend(second);
-        outcome.l3_groups[0].sort_unstable();
-    }
-}
-
-/// Forces an L3-only split of the first non-singleton group (fault
-/// injection). Deliberately does NOT touch L2, so an L2 group spanning
-/// the split violates refinement and exercises the repair path.
-fn force_l3_split(outcome: &mut ReconfigOutcome) {
-    if let Some(g) = outcome.l3_groups.iter_mut().find(|g| g.len() >= 2) {
-        let tail = g.split_off(g.len() / 2);
-        outcome.l3_groups.push(tail);
-    }
-}
-
-fn hierarchy_misses(hier: &Hierarchy) -> Vec<u64> {
-    hier.l2()
-        .stats
-        .misses_by_core
-        .iter()
-        .zip(hier.l3().stats.misses_by_core.iter())
-        .map(|(a, b)| a + b)
-        .collect()
-}
-
-/// Worst covering-span inflation over the non-singleton groups: 1.0 for
-/// buddy-aligned groupings, larger when logical groups ride a physical
-/// superset segment (§5.5).
-fn span_factor(groups: &[Vec<usize>]) -> f64 {
-    groups
-        .iter()
-        .filter(|g| g.len() > 1)
-        .map(|g| covering_pow2_span(g) as f64 / g.len() as f64)
-        .fold(1.0, f64::max)
-}
-
-/// Installs a target (L2, L3) grouping pair on the hierarchy in an
-/// inclusion-safe order: first the meet of the target L2 with the current
-/// L3 (always a legal L2), then the target L3, then the target L2.
-pub fn apply_groups(
-    hier: &mut Hierarchy,
-    l2_groups: &[Vec<usize>],
-    l3_groups: &[Vec<usize>],
-) -> Result<(), String> {
-    let n = hier.params().n_cores;
-    let current_l3: Vec<Vec<usize>> = hier.l3().grouping().iter().map(|g| g.to_vec()).collect();
-    let intermediate = meet(l2_groups, &current_l3);
-    let to_grouping =
-        |gs: &[Vec<usize>]| Grouping::from_groups(n, gs.to_vec()).map_err(|e| e.to_string());
-    hier.set_l2_grouping(to_grouping(&intermediate)?)
-        .map_err(|e| e.to_string())?;
-    hier.set_l3_grouping(to_grouping(l3_groups)?)
-        .map_err(|e| e.to_string())?;
-    hier.set_l2_grouping(to_grouping(l2_groups)?)
-        .map_err(|e| e.to_string())?;
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::faults::{FaultKind, FaultPlan};
+    use morphcache::SymmetricTopology;
 
     fn quick(n: usize) -> SystemConfig {
         SystemConfig::quick_test(n)
@@ -740,92 +254,46 @@ mod tests {
     }
 
     #[test]
-    fn apply_groups_handles_arbitrary_transitions() {
-        let mut h = Hierarchy::new(morph_cache::HierarchyParams::scaled_down(8));
-        let t1 = SymmetricTopology::new(2, 2, 2, 8).unwrap();
-        apply_groups(&mut h, &t1.l2_groups(), &t1.l3_groups()).unwrap();
-        assert_eq!(h.l2().grouping().describe(), "[0-1][2-3][4-5][6-7]");
-        // Jump straight to a conflicting shape.
-        let t2 = SymmetricTopology::new(4, 1, 2, 8).unwrap();
-        apply_groups(&mut h, &t2.l2_groups(), &t2.l3_groups()).unwrap();
-        assert_eq!(h.l2().grouping().describe(), "[0-3][4-7]");
-        // And back to private.
-        let t3 = SymmetricTopology::new(1, 1, 8, 8).unwrap();
-        apply_groups(&mut h, &t3.l2_groups(), &t3.l3_groups()).unwrap();
-        assert_eq!(h.l3().grouping().describe(), "[0][1][2][3][4][5][6][7]");
-        h.check_inclusion().unwrap();
-    }
-
-    #[test]
-    fn span_factor_penalizes_sparse_groups() {
-        assert_eq!(span_factor(&[vec![0, 1], vec![2], vec![3]]), 1.0);
-        assert_eq!(span_factor(&[vec![0], vec![1], vec![2], vec![3]]), 1.0);
-        assert_eq!(span_factor(&[vec![0, 3], vec![1], vec![2]]), 2.0);
-        assert!((span_factor(&[vec![0, 1, 2], vec![3]]) - 4.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
     fn deterministic_given_seed() {
+        // Every backend must be bit-reproducible run-to-run: same config,
+        // same workload, same seed → identical throughput sequences.
         let cfg = quick(4).with_epochs(2);
         let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
-        let run = |_: u32| {
-            let mut sim = SystemSim::new(cfg, &w, &Policy::baseline(4)).unwrap();
-            sim.run()
-                .unwrap()
-                .iter()
-                .map(|e| e.throughput())
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(run(0), run(1));
+        let cands = vec![
+            SymmetricTopology::new(4, 1, 1, 4).unwrap(),
+            SymmetricTopology::new(1, 1, 4, 4).unwrap(),
+        ];
+        for policy in [
+            Policy::baseline(4),
+            Policy::morph(&cfg),
+            Policy::IdealOffline(cands),
+            Policy::Pipp,
+            Policy::Dsr,
+        ] {
+            let run = || {
+                let mut sim = SystemSim::new(cfg, &w, &policy).unwrap();
+                sim.run()
+                    .unwrap()
+                    .iter()
+                    .map(|e| e.throughput().to_bits())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(run(), run(), "{} not deterministic", policy.name());
+        }
     }
 
     #[test]
-    fn validate_and_repair_rejects_non_partitions() {
-        // Slice 3 missing from L2.
-        let err = validate_and_repair(0, 4, vec![vec![0, 1], vec![2]], vec![vec![0, 1, 2, 3]]);
-        assert!(matches!(err, Err(MorphError::Grouping(_))));
-        // Slice 1 duplicated in L3.
-        let err = validate_and_repair(
-            0,
-            4,
-            vec![vec![0], vec![1], vec![2], vec![3]],
-            vec![vec![0, 1], vec![1, 2, 3]],
-        );
-        assert!(matches!(err, Err(MorphError::Grouping(_))));
-    }
-
-    #[test]
-    fn validate_and_repair_restores_refinement() {
-        // L2 group [0,1] spans two L3 groups [0] and [1]: repaired by the
-        // meet, which splits the L2 group.
-        let (l2, l3) = validate_and_repair(
-            0,
-            4,
-            vec![vec![0, 1], vec![2, 3]],
-            vec![vec![0], vec![1], vec![2, 3]],
-        )
-        .unwrap();
-        assert!(refines(&l2, &l3));
-        assert!(is_partition(&l2, 4));
-        assert_eq!(l3, vec![vec![0], vec![1], vec![2, 3]]);
-    }
-
-    #[test]
-    fn forced_merge_and_split_are_repaired_into_valid_topologies() {
-        let mut outcome = ReconfigOutcome {
-            l2_groups: vec![vec![0, 1], vec![2, 3]],
-            l3_groups: vec![vec![0, 1], vec![2, 3]],
-            events: Vec::new(),
-            asymmetric: false,
-        };
-        force_l3_merge(&mut outcome);
-        assert_eq!(outcome.l3_groups, vec![vec![0, 1, 2, 3]]);
-        force_l3_split(&mut outcome);
-        // The split broke nothing L2 refines, but must still be a
-        // partition and repairable.
-        let (l2, l3) = validate_and_repair(0, 4, outcome.l2_groups, outcome.l3_groups).unwrap();
-        assert!(is_partition(&l3, 4));
-        assert!(refines(&l2, &l3));
+    fn with_backend_accepts_external_implementations() {
+        // A minimal external policy: route everything through a
+        // StaticBackend built by hand, without going through Policy.
+        let cfg = quick(4);
+        let w = Workload::named_apps(&["gcc", "hmmer", "mcf", "libq"]).unwrap();
+        let t = SymmetricTopology::new(2, 2, 1, 4).unwrap();
+        let backend = crate::backend::StaticBackend::new(&cfg, t).unwrap();
+        let mut sim = SystemSim::with_backend(cfg, &w, Box::new(backend));
+        let epochs = sim.run().unwrap();
+        assert!(epochs.iter().all(|e| e.throughput() > 0.0));
+        assert_eq!(epochs[0].l2_grouping, "[0-1][2-3]");
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! morph compare --mix 5                        # all policies on one mix
 //! ```
 
-use morph_system::experiment::{run_matrix, run_workload, run_workload_faulted};
+use morph_system::experiment::{
+    default_jobs, run_cells, run_workload, run_workload_faulted, MatrixCell,
+};
 use morph_system::prelude::*;
 
 use morph_trace::{mixes, parsec, spec};
@@ -29,11 +31,14 @@ fn main() {
             eprintln!("            [--epochs N] [--cycles N] [--seed N] [--cores N]");
             eprintln!("            [--faults <spec>] [--validate-only]");
             eprintln!("  morph compare --mix <1..12> | --parsec <name> [--epochs N] [--cycles N]");
+            eprintln!("            [--jobs N]");
             eprintln!();
             eprintln!("  --faults spec: semicolon-separated clauses, e.g.");
             eprintln!("      seed=42;acfv@1;drop=5000@2;pin=0@3;merge@4;split@5");
             eprintln!("  --validate-only: check configuration, policy and fault spec,");
             eprintln!("      then exit without simulating");
+            eprintln!("  --jobs N: worker threads for compare (default: host parallelism);");
+            eprintln!("      results are bit-identical for any N");
             2
         }
     };
@@ -65,6 +70,7 @@ struct Opts {
     cores: usize,
     faults: Option<String>,
     validate_only: bool,
+    jobs: Option<usize>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -77,6 +83,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cores: 16,
         faults: None,
         validate_only: false,
+        jobs: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -103,6 +110,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--cores" => o.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--faults" => o.faults = Some(val("--faults")?),
             "--validate-only" => o.validate_only = true,
+            "--jobs" => {
+                let n: usize = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                o.jobs = Some(n);
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -234,26 +248,42 @@ fn cmd_compare(args: &[String]) -> i32 {
     let names = [
         "16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr",
     ];
-    let jobs: Vec<(Workload, Policy)> = names
+    let cells: Vec<MatrixCell> = names
         .iter()
-        .map(|n| (w.clone(), policy(n, &cfg).expect("builtin policy")))
+        .map(|n| {
+            MatrixCell::new(
+                w.clone(),
+                policy(n, &cfg).expect("builtin policy"),
+                cfg.seed,
+            )
+        })
         .collect();
-    let results = match run_matrix(&cfg, &jobs) {
-        Ok(r) => r,
+    let jobs = o.jobs.unwrap_or_else(default_jobs);
+    let matrix = match run_cells(&cfg, &cells, jobs) {
+        Ok(m) => m,
         Err(e) => {
             eprintln!("run failed: {e}");
             return 1;
         }
     };
-    let base = results[0].mean_throughput();
+    let base = matrix.results[0].mean_throughput();
     println!("{}:", w.name());
-    for r in &results {
+    for (r, secs) in matrix.results.iter().zip(&matrix.timing.cell_seconds) {
         println!(
-            "  {:<12} throughput {:.3}  ({:.3}x baseline)",
+            "  {:<12} throughput {:.3}  ({:.3}x baseline)  [{secs:.2}s]",
             r.policy_name,
             r.mean_throughput(),
             r.mean_throughput() / base
         );
     }
+    let t = &matrix.timing;
+    println!(
+        "{} cells in {:.2}s with {} jobs ({:.2} cells/s, {:.2}x vs serial)",
+        t.cells(),
+        t.wall_seconds,
+        matrix.jobs,
+        t.cells_per_sec(),
+        t.parallel_speedup()
+    );
     0
 }
