@@ -1,0 +1,297 @@
+//! Minimal hand-rolled JSON support (the analyzer ships zero external
+//! dependencies, so no `serde`).
+//!
+//! The writer emits the `--json` report; the parser is just enough JSON
+//! to round-trip that report in tests and for downstream tooling to
+//! sanity-check the output. Neither aims to be a general JSON library.
+
+use crate::lint::Finding;
+
+/// Serializes findings as a stable, pretty-printed JSON array.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str("  {");
+        out.push_str(&format!("\"file\": {}, ", escape(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"rule\": {}, ", escape(&f.rule)));
+        out.push_str(&format!("\"message\": {}", escape(&f.message)));
+        out.push('}');
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Parses the output of [`findings_to_json`] back into findings.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn findings_from_json(text: &str) -> Result<Vec<Finding>, String> {
+    let value = parse_value(&mut Cursor::new(text))?;
+    let Value::Array(items) = value else {
+        return Err("expected a top-level array".into());
+    };
+    let mut findings = Vec::with_capacity(items.len());
+    for item in items {
+        let Value::Object(fields) = item else {
+            return Err("expected an array of objects".into());
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, Value::String(s))) => Ok(s.clone()),
+                _ => Err(format!("missing string field {key:?}")),
+            }
+        };
+        let line = match fields.iter().find(|(k, _)| k == "line") {
+            Some((_, Value::Number(n))) => *n as u32,
+            _ => return Err("missing numeric field \"line\"".into()),
+        };
+        findings.push(Finding {
+            file: get_str("file")?,
+            line,
+            rule: get_str("rule")?,
+            message: get_str("message")?,
+        });
+    }
+    Ok(findings)
+}
+
+/// Escapes a string as a JSON string literal (including the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The subset of JSON values the report uses.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    String(String),
+    Number(f64),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, byte: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+}
+
+fn parse_value(c: &mut Cursor<'_>) -> Result<Value, String> {
+    match c.peek() {
+        Some(b'[') => {
+            c.pos += 1;
+            let mut items = Vec::new();
+            if c.peek() == Some(b']') {
+                c.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(c)?);
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b']') => {
+                        c.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", c.pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            c.pos += 1;
+            let mut fields = Vec::new();
+            if c.peek() == Some(b'}') {
+                c.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                let Value::String(key) = parse_value(c)? else {
+                    return Err(format!("expected a string key at byte {}", c.pos));
+                };
+                c.expect_byte(b':')?;
+                fields.push((key, parse_value(c)?));
+                match c.peek() {
+                    Some(b',') => c.pos += 1,
+                    Some(b'}') => {
+                        c.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", c.pos)),
+                }
+            }
+        }
+        Some(b'"') => parse_string(c).map(Value::String),
+        Some(b) if b == b'-' || b.is_ascii_digit() => parse_number(c).map(Value::Number),
+        other => Err(format!("unexpected input {other:?} at byte {}", c.pos)),
+    }
+}
+
+fn parse_string(c: &mut Cursor<'_>) -> Result<String, String> {
+    c.expect_byte(b'"')?;
+    let mut out = String::new();
+    loop {
+        match c.bytes.get(c.pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                c.pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                c.pos += 1;
+                match c.bytes.get(c.pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = c
+                            .bytes
+                            .get(c.pos + 1..c.pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        c.pos += 4;
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                }
+                c.pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (strings may hold multi-byte
+                // characters from source snippets in messages).
+                let start = c.pos;
+                c.pos += 1;
+                while c.pos < c.bytes.len() && (c.bytes[c.pos] & 0xC0) == 0x80 {
+                    c.pos += 1;
+                }
+                let chunk = std::str::from_utf8(&c.bytes[start..c.pos])
+                    .map_err(|_| "invalid UTF-8 in string")?;
+                out.push_str(chunk);
+            }
+        }
+    }
+}
+
+fn parse_number(c: &mut Cursor<'_>) -> Result<f64, String> {
+    c.skip_ws();
+    let start = c.pos;
+    while matches!(
+        c.bytes.get(c.pos),
+        Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+    ) {
+        c.pos += 1;
+    }
+    std::str::from_utf8(&c.bytes[start..c.pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                file: "crates/core/src/engine.rs".into(),
+                line: 42,
+                rule: "no-panic-in-lib".into(),
+                message: "value with \"quotes\", a \\ and a\nnewline".into(),
+            },
+            Finding {
+                file: "crates/trace/src/stream.rs".into(),
+                line: 7,
+                rule: "no-default-hasher-iteration".into(),
+                message: "HashMap iterates in randomized order".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_findings() {
+        let findings = sample();
+        let json = findings_to_json(&findings);
+        let back = findings_from_json(&json).unwrap();
+        assert_eq!(findings, back);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let json = findings_to_json(&[]);
+        assert_eq!(findings_from_json(&json).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn escape_handles_control_chars() {
+        assert_eq!(escape("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(escape("tab\there"), "\"tab\\there\"");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(findings_from_json("{\"not\": \"an array\"}").is_err());
+        assert!(findings_from_json("[{\"file\": \"x\"}]").is_err());
+        assert!(findings_from_json("[{\"file\": \"x\", \"line\": \"NaN\"}]").is_err());
+        assert!(findings_from_json("[").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let json = "[{\"file\": \"\\u00e9.rs\", \"line\": 1, \"rule\": \"no-wallclock\", \"message\": \"caf\\u00e9\"}]";
+        let f = findings_from_json(json).unwrap();
+        assert_eq!(f[0].file, "é.rs");
+        assert_eq!(f[0].message, "café");
+    }
+}

@@ -1,0 +1,638 @@
+//! Static model check of the MorphCache reconfiguration lattice.
+//!
+//! The paper's merge/split engine (§3) moves the hierarchy between
+//! *buddy* topologies: every L2 and L3 group is a contiguous
+//! power-of-two-sized slice range aligned to its own size, and the L2
+//! grouping always refines the L3 grouping (inclusion). Rather than hope
+//! the runtime watchdog catches a bad reconfiguration, this module
+//! enumerates the **entire reachable state space** by breadth-first
+//! search over the same transition rules the engine implements, and
+//! proves four invariants for every reachable state:
+//!
+//! 1. **Valid core partition** — both levels are buddy partitions of the
+//!    slice set ([`morphcache::topology::is_buddy_partition`]).
+//! 2. **Inclusion capacity** — L2 refines L3, so every L2 group's lines
+//!    can be inclusively cached by the L3 group above it, and each level
+//!    covers all `n` slices (no capacity lost or aliased).
+//! 3. **Arbitration graph connected and cycle-free** — for each level,
+//!    the real [`morph_interconnect::ArbiterTree`] accepts the grouping
+//!    and the induced arbitration graph of every group is a spanning
+//!    tree (checked by union-find: `size − 1` arbiter edges, one
+//!    component, zero cycles). The segmented bus likewise accepts the
+//!    grouping as a switch configuration.
+//! 4. **Reversibility (no dead ends)** — every merge transition has a
+//!    reversing split path (checked constructively for each edge), and
+//!    every non-base state has at least one legal split, so every state
+//!    drains back to the all-private base topology.
+//!
+//! The transition rules mirror `morph-core::engine` exactly:
+//!
+//! * *L3 merge* of two buddy-sibling L3 groups (L2 unchanged).
+//! * *L2 merge* of two buddy-sibling L2 groups; if the merged span
+//!   straddles two L3 groups, the engine's merge-aggressive
+//!   `force_l3_cover` merges those L3 groups in the same transition
+//!   (they are necessarily buddy siblings — see
+//!   `Lattice::successors`).
+//! * *L2 split* of any non-singleton L2 group into its halves.
+//! * *L3 split* of a non-singleton L3 group into its halves, legal only
+//!   when no L2 group straddles the two halves (the split-aggressive
+//!   policy instead forces the L2 split first; that composite lands in a
+//!   state this model also reaches via L2-split then L3-split, so the
+//!   merge-aggressive rule set spans both policies' reachable sets).
+//!
+//! # Closed-form cross-check
+//!
+//! Buddy partitions of an aligned block of `m` slices satisfy
+//! `B(1) = 1`, `B(m) = 1 + B(m/2)²` (either the block is one group, or
+//! each half is independently partitioned). Refining (L2, L3) pairs
+//! satisfy `R(1) = 1`, `R(m) = B(m) + R(m/2)²` (either L3 is the whole
+//! block — any of the `B(m)` L2 partitions refines it — or L3 splits and
+//! the halves are independent). For 16 slices: `B(16) = 677` and
+//! `R(16) = 49961`. The BFS count equaling `R(n)` proves the enumeration
+//! is complete *and* that every refining buddy pair is reachable from
+//! the base — merges alone suffice, so reachability is not policy-
+//! dependent.
+
+use morph_interconnect::{ArbiterTree, SegmentedBus};
+use morphcache::topology::{buddy_siblings, is_buddy_partition, is_partition, refines};
+use std::collections::{BTreeSet, VecDeque};
+
+/// A lattice state: the L2 and L3 buddy partitions, encoded as the sizes
+/// of their contiguous blocks in slice order (`[4, 4, 8]` means groups
+/// `{0..4}, {4..8}, {8..16}`). The encoding is canonical, so it doubles
+/// as the BFS visited-set key.
+type State = (Vec<u8>, Vec<u8>);
+
+/// Expands a block-size encoding into explicit slice groups.
+fn expand(sizes: &[u8]) -> Vec<Vec<usize>> {
+    let mut groups = Vec::with_capacity(sizes.len());
+    let mut start = 0usize;
+    for &s in sizes {
+        groups.push((start..start + s as usize).collect());
+        start += s as usize;
+    }
+    groups
+}
+
+/// Canonicalizes explicit groups back into the block-size encoding.
+///
+/// Returns `None` if the groups are not contiguous aligned blocks in
+/// order — which would itself be an invariant violation.
+fn encode(groups: &[Vec<usize>]) -> Option<Vec<u8>> {
+    let mut sizes = Vec::with_capacity(groups.len());
+    let mut sorted: Vec<&Vec<usize>> = groups.iter().collect();
+    sorted.sort_by_key(|g| g.first().copied());
+    let mut next = 0usize;
+    for g in sorted {
+        if g.first().copied()? != next || g.windows(2).any(|w| w[1] != w[0] + 1) {
+            return None;
+        }
+        sizes.push(u8::try_from(g.len()).ok()?);
+        next += g.len();
+    }
+    Some(sizes)
+}
+
+/// One invariant violation found by the model check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant failed (1–4, as documented on the module).
+    pub invariant: u8,
+    /// The offending state, as `(l2 sizes, l3 sizes)`.
+    pub state: State,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant {} violated at L2={:?} L3={:?}: {}",
+            self.invariant, self.state.0, self.state.1, self.message
+        )
+    }
+}
+
+/// Result of an exhaustive lattice enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatticeReport {
+    /// Slice count the lattice was enumerated for.
+    pub cores: usize,
+    /// Number of distinct reachable `(L2, L3)` states.
+    pub reachable_states: u64,
+    /// Closed-form prediction `R(cores)` for the state count.
+    pub predicted_states: u64,
+    /// Distinct L3 partitions observed across all states.
+    pub l3_partitions: u64,
+    /// Closed-form prediction `B(cores)` for the L3 partition count.
+    pub predicted_l3_partitions: u64,
+    /// Directed transitions explored (merges and splits).
+    pub transitions: u64,
+    /// Merge transitions that needed the engine's forced L3 cover.
+    pub forced_covers: u64,
+    /// Invariant violations (empty iff the model check passes).
+    pub violations: Vec<Violation>,
+}
+
+impl LatticeReport {
+    /// True iff every reachable state satisfied all four invariants.
+    pub fn holds(&self) -> bool {
+        self.violations.is_empty()
+            && self.reachable_states == self.predicted_states
+            && self.l3_partitions == self.predicted_l3_partitions
+    }
+}
+
+/// Closed-form count of buddy partitions of an aligned block of `m`.
+pub fn buddy_partition_count(m: usize) -> u64 {
+    if m <= 1 {
+        1
+    } else {
+        let half = buddy_partition_count(m / 2);
+        1 + half * half
+    }
+}
+
+/// Closed-form count of refining `(L2, L3)` buddy-partition pairs.
+pub fn refining_pair_count(m: usize) -> u64 {
+    if m <= 1 {
+        1
+    } else {
+        let half = refining_pair_count(m / 2);
+        buddy_partition_count(m) + half * half
+    }
+}
+
+/// The exhaustive model check.
+pub struct Lattice {
+    n: usize,
+}
+
+impl Lattice {
+    /// Prepares a lattice over `n` slices.
+    ///
+    /// # Errors
+    ///
+    /// `n` must be a power of two in `2..=16`: the encoding stores block
+    /// sizes in a byte, and the state space explodes past 16
+    /// (`R(32) > 2·10⁹`).
+    pub fn new(n: usize) -> Result<Self, String> {
+        if !n.is_power_of_two() || !(2..=16).contains(&n) {
+            return Err(format!(
+                "lattice slice count must be a power of two in 2..=16, got {n}"
+            ));
+        }
+        Ok(Self { n })
+    }
+
+    /// The base state: fully private `(1:1:n)` — every slice its own L2
+    /// and L3 group. This is what the engine boots into before the first
+    /// epoch and what invariant 4 requires every state to drain back to.
+    fn base(&self) -> State {
+        (vec![1u8; self.n], vec![1u8; self.n])
+    }
+
+    /// All successor states of `state`, with per-edge bookkeeping.
+    ///
+    /// For merge edges, `reversible` records whether the constructive
+    /// reversing split path (one direct split for a pure merge; split L2
+    /// then split L3 for a forced-cover merge) is legal and lands back
+    /// on `state` — invariant 4a.
+    fn successors(&self, state: &State) -> Vec<Edge> {
+        let l2 = expand(&state.0);
+        let l3 = expand(&state.1);
+        let mut out = Vec::new();
+
+        // L3 merges: buddy-sibling L3 groups (L2 unchanged — merging the
+        // coarser level can never break refinement). Reverse: split the
+        // merged L3 group; legal because the pre-merge L2 grouping had no
+        // group straddling the seam between the two siblings.
+        for i in 0..l3.len() {
+            for j in i + 1..l3.len() {
+                if buddy_siblings(&l3[i], &l3[j]) {
+                    if let Some(next_l3) = merge_encoded(&state.1, i, j) {
+                        let next = (state.0.clone(), next_l3);
+                        let reversible = self
+                            .split_l3(&next, l3[i.min(j)][0])
+                            .is_some_and(|back| back == *state);
+                        out.push(Edge {
+                            next,
+                            is_merge: true,
+                            forced: false,
+                            reversible,
+                        });
+                    }
+                }
+            }
+        }
+
+        // L2 merges: buddy-sibling L2 groups. If the merged span is not
+        // inside one L3 group, the engine's force_l3_cover merges the two
+        // L3 groups. Those are exactly the original L2 groups promoted to
+        // L3 (an L3 group of size ≥ 2·|span half| containing one half
+        // would, by buddy nesting, contain the whole span), so the cover
+        // is a single buddy-sibling L3 merge. Reverse: split the merged
+        // L2 group (always legal), then — for a forced cover — split the
+        // merged L3 group, which no L2 group straddles any more.
+        for i in 0..l2.len() {
+            for j in i + 1..l2.len() {
+                if !buddy_siblings(&l2[i], &l2[j]) {
+                    continue;
+                }
+                let Some(next_l2) = merge_encoded(&state.0, i, j) else {
+                    continue;
+                };
+                let span_start = l2[i.min(j)][0];
+                let span_end = l2[i.max(j)][l2[i.max(j)].len() - 1];
+                let covered = l3
+                    .iter()
+                    .any(|g| g.contains(&span_start) && g.contains(&span_end));
+                if covered {
+                    let next = (next_l2, state.1.clone());
+                    let reversible = self
+                        .split_l2(&next, span_start)
+                        .is_some_and(|back| back == *state);
+                    out.push(Edge {
+                        next,
+                        is_merge: true,
+                        forced: false,
+                        reversible,
+                    });
+                } else {
+                    let li = l3.iter().position(|g| g.contains(&span_start));
+                    let lj = l3.iter().position(|g| g.contains(&span_end));
+                    if let (Some(li), Some(lj)) = (li, lj) {
+                        if let Some(next_l3) = merge_encoded(&state.1, li, lj) {
+                            let next = (next_l2, next_l3);
+                            let reversible = self
+                                .split_l2(&next, span_start)
+                                .and_then(|mid| self.split_l3(&mid, span_start))
+                                .is_some_and(|back| back == *state);
+                            out.push(Edge {
+                                next,
+                                is_merge: true,
+                                forced: true,
+                                reversible,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // L2 splits: always legal (a finer L2 still refines L3).
+        for (i, g) in l2.iter().enumerate() {
+            if g.len() >= 2 {
+                if let Some(next_l2) = split_encoded(&state.0, i) {
+                    out.push(Edge {
+                        next: (next_l2, state.1.clone()),
+                        is_merge: false,
+                        forced: false,
+                        reversible: true,
+                    });
+                }
+            }
+        }
+
+        // L3 splits: legal only when no L2 group straddles the halves.
+        for (i, g) in l3.iter().enumerate() {
+            if g.len() < 2 {
+                continue;
+            }
+            let mid = g[0] + g.len() / 2;
+            let straddles = l2
+                .iter()
+                .any(|l2g| l2g.contains(&(mid - 1)) && l2g.contains(&mid));
+            if !straddles {
+                if let Some(next_l3) = split_encoded(&state.1, i) {
+                    out.push(Edge {
+                        next: (state.0.clone(), next_l3),
+                        is_merge: false,
+                        forced: false,
+                        reversible: true,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies the legal L2 split of the group containing `slice`, if any.
+    fn split_l2(&self, state: &State, slice: usize) -> Option<State> {
+        let l2 = expand(&state.0);
+        let i = l2.iter().position(|g| g.contains(&slice))?;
+        if l2[i].len() < 2 {
+            return None;
+        }
+        Some((split_encoded(&state.0, i)?, state.1.clone()))
+    }
+
+    /// Applies the legal L3 split of the group containing `slice`, if any
+    /// (`None` when an L2 group straddles the halves — the same rule the
+    /// engine enforces).
+    fn split_l3(&self, state: &State, slice: usize) -> Option<State> {
+        let l2 = expand(&state.0);
+        let l3 = expand(&state.1);
+        let i = l3.iter().position(|g| g.contains(&slice))?;
+        if l3[i].len() < 2 {
+            return None;
+        }
+        let mid = l3[i][0] + l3[i].len() / 2;
+        if l2
+            .iter()
+            .any(|g| g.contains(&(mid - 1)) && g.contains(&mid))
+        {
+            return None;
+        }
+        Some((state.0.clone(), split_encoded(&state.1, i)?))
+    }
+
+    /// Runs the breadth-first enumeration and all invariant checks.
+    pub fn check(&self) -> LatticeReport {
+        let mut report = LatticeReport {
+            cores: self.n,
+            reachable_states: 0,
+            predicted_states: refining_pair_count(self.n),
+            l3_partitions: 0,
+            predicted_l3_partitions: buddy_partition_count(self.n),
+            transitions: 0,
+            forced_covers: 0,
+            violations: Vec::new(),
+        };
+        let base = self.base();
+        let mut visited: BTreeSet<State> = BTreeSet::new();
+        let mut l3_seen: BTreeSet<Vec<u8>> = BTreeSet::new();
+        let mut queue: VecDeque<State> = VecDeque::new();
+        visited.insert(base.clone());
+        queue.push_back(base.clone());
+
+        while let Some(state) = queue.pop_front() {
+            self.check_state_invariants(&state, &mut report);
+            l3_seen.insert(state.1.clone());
+            let succs = self.successors(&state);
+            let mut has_split = false;
+            for edge in succs {
+                report.transitions += 1;
+                if edge.forced {
+                    report.forced_covers += 1;
+                }
+                if edge.is_merge {
+                    // Invariant 4a: the merge must be reversible by
+                    // splits alone.
+                    if !edge.reversible {
+                        report.violations.push(Violation {
+                            invariant: 4,
+                            state: edge.next.clone(),
+                            message: format!(
+                                "merge from L2={:?} L3={:?} has no reversing split path",
+                                state.0, state.1
+                            ),
+                        });
+                    }
+                } else {
+                    has_split = true;
+                }
+                if visited.insert(edge.next.clone()) {
+                    queue.push_back(edge.next);
+                }
+            }
+            // Invariant 4b: every non-base state has a legal split. Each
+            // split strictly increases the total group count, which is
+            // bounded by 2n, so by induction every reachable state drains
+            // to the all-private base in finitely many splits.
+            if state != base && !has_split {
+                report.violations.push(Violation {
+                    invariant: 4,
+                    state: state.clone(),
+                    message: "non-base state with no legal split (dead end)".into(),
+                });
+            }
+        }
+        report.reachable_states = visited.len() as u64;
+        report.l3_partitions = l3_seen.len() as u64;
+        report
+    }
+
+    /// Invariants 1–3 for one state.
+    fn check_state_invariants(&self, state: &State, report: &mut LatticeReport) {
+        let l2 = expand(&state.0);
+        let l3 = expand(&state.1);
+        let mut fail = |invariant: u8, message: String| {
+            report.violations.push(Violation {
+                invariant,
+                state: state.clone(),
+                message,
+            });
+        };
+
+        // 1: both levels are buddy partitions of 0..n.
+        if !is_buddy_partition(&l2, self.n) {
+            fail(1, "L2 grouping is not a buddy partition".into());
+        }
+        if !is_buddy_partition(&l3, self.n) {
+            fail(1, "L3 grouping is not a buddy partition".into());
+        }
+
+        // 2: inclusion capacity — L2 refines L3 and each level covers
+        // every slice exactly once (is_partition already rules out
+        // aliasing; the size sums make the capacity argument explicit).
+        if !refines(&l2, &l3) {
+            fail(2, "L2 does not refine L3 (inclusion violated)".into());
+        }
+        for (name, groups) in [("L2", &l2), ("L3", &l3)] {
+            let total: usize = groups.iter().map(Vec::len).sum();
+            if total != self.n || !is_partition(groups, self.n) {
+                fail(2, format!("{name} covers {total} of {} slices", self.n));
+            }
+        }
+
+        // 3: the real arbiter tree and segmented bus accept both
+        // groupings, and each group's arbitration graph is a spanning
+        // tree.
+        for (name, groups) in [("L2", &l2), ("L3", &l3)] {
+            let mut tree = ArbiterTree::new(self.n);
+            if let Err(e) = tree.configure_groups(groups) {
+                fail(3, format!("ArbiterTree rejects {name} grouping: {e}"));
+            }
+            let mut bus = SegmentedBus::new(self.n);
+            if let Err(e) = bus.configure(groups) {
+                fail(3, format!("SegmentedBus rejects {name} grouping: {e}"));
+            }
+            if bus.n_segments() != groups.len() {
+                fail(
+                    3,
+                    format!(
+                        "{name}: bus reports {} segments for {} groups",
+                        bus.n_segments(),
+                        groups.len()
+                    ),
+                );
+            }
+            for g in groups.iter() {
+                if !arbitration_graph_is_tree(g) {
+                    fail(
+                        3,
+                        format!("{name} group {g:?}: arbitration graph is not a spanning tree"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// One directed transition explored by the BFS.
+struct Edge {
+    next: State,
+    is_merge: bool,
+    forced: bool,
+    /// For merges: the constructive reversing split path exists.
+    reversible: bool,
+}
+
+/// Merges groups `i` and `j` of a block-size encoding, returning the
+/// canonical successor encoding (or `None` if the merge would not form
+/// an aligned block — which never happens for buddy siblings).
+fn merge_encoded(sizes: &[u8], i: usize, j: usize) -> Option<Vec<u8>> {
+    let mut groups = expand(sizes);
+    let (a, b) = (i.min(j), i.max(j));
+    let mut merged = groups.swap_remove(b);
+    merged.extend(groups[a].iter().copied());
+    merged.sort_unstable();
+    groups[a] = merged;
+    encode(&groups)
+}
+
+/// Splits group `i` of a block-size encoding into its two halves.
+fn split_encoded(sizes: &[u8], i: usize) -> Option<Vec<u8>> {
+    let mut groups = expand(sizes);
+    let g = groups[i].clone();
+    if g.len() < 2 {
+        return None;
+    }
+    let mid = g.len() / 2;
+    groups[i] = g[..mid].to_vec();
+    groups.insert(i + 1, g[mid..].to_vec());
+    encode(&groups)
+}
+
+/// Union-find check that the buddy arbitration edges of one group form a
+/// spanning tree: a group of size `2^k` is served by `2^k − 1` two-input
+/// arbiter cells (levels `1..=k`), each joining two previously disjoint
+/// subtrees — `size − 1` edges, no cycles, one component.
+fn arbitration_graph_is_tree(group: &[usize]) -> bool {
+    let size = group.len();
+    if !size.is_power_of_two() {
+        return false;
+    }
+    let base = group[0];
+    let mut parent: Vec<usize> = (0..size).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut edges = 0usize;
+    let levels = size.trailing_zeros() as usize;
+    for level in 1..=levels {
+        let block = 1usize << level;
+        let mut start = 0;
+        while start + block <= size {
+            // The level-`level` arbiter joins the two half-blocks. Use
+            // representative leaves; the absolute slice indices must be
+            // buddy-aligned for the cell to exist in the hardware tree.
+            let left = start;
+            let right = start + block / 2;
+            if !(base + start).is_multiple_of(block) {
+                return false;
+            }
+            let (ra, rb) = (find(&mut parent, left), find(&mut parent, right));
+            if ra == rb {
+                return false; // cycle
+            }
+            parent[ra] = rb;
+            edges += 1;
+            start += block;
+        }
+    }
+    edges == size - 1 && (0..size).all(|x| find(&mut parent, x) == find(&mut parent, 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_counts() {
+        assert_eq!(buddy_partition_count(1), 1);
+        assert_eq!(buddy_partition_count(2), 2);
+        assert_eq!(buddy_partition_count(4), 5);
+        assert_eq!(buddy_partition_count(8), 26);
+        assert_eq!(buddy_partition_count(16), 677);
+        assert_eq!(refining_pair_count(2), 3);
+        assert_eq!(refining_pair_count(4), 14);
+        assert_eq!(refining_pair_count(8), 222);
+        assert_eq!(refining_pair_count(16), 49961);
+    }
+
+    #[test]
+    fn tiny_lattices_hold() {
+        for n in [2usize, 4, 8] {
+            let report = Lattice::new(n).unwrap().check();
+            assert!(report.holds(), "n={n}: {:?}", report.violations.first());
+            assert_eq!(report.reachable_states, refining_pair_count(n));
+        }
+    }
+
+    #[test]
+    fn four_slice_lattice_exact() {
+        let report = Lattice::new(4).unwrap().check();
+        assert_eq!(report.reachable_states, 14);
+        assert_eq!(report.l3_partitions, 5);
+        assert!(report.forced_covers > 0, "forced covers must be exercised");
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(Lattice::new(0).is_err());
+        assert!(Lattice::new(3).is_err());
+        assert!(Lattice::new(32).is_err());
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let sizes = vec![4u8, 2, 2, 8];
+        assert_eq!(encode(&expand(&sizes)), Some(sizes));
+        // Non-contiguous groups fail to encode.
+        assert_eq!(encode(&[vec![0, 2], vec![1, 3]]), None);
+    }
+
+    #[test]
+    fn arbitration_tree_shapes() {
+        assert!(arbitration_graph_is_tree(&[0, 1, 2, 3]));
+        assert!(arbitration_graph_is_tree(&[4, 5, 6, 7]));
+        assert!(arbitration_graph_is_tree(&[5])); // singleton: 0 edges
+        assert!(!arbitration_graph_is_tree(&[2, 3, 4, 5])); // misaligned
+        assert!(!arbitration_graph_is_tree(&[0, 1, 2])); // not a power of two
+    }
+
+    #[test]
+    fn forced_cover_merges_l3_buddies() {
+        // From L2=[2,2] L3=[2,2] on 4 slices, merging the L2 pair forces
+        // the L3 cover, landing in L2=[4] L3=[4].
+        let lattice = Lattice::new(4).unwrap();
+        let state: State = (vec![2, 2], vec![2, 2]);
+        let succs = lattice.successors(&state);
+        assert!(succs
+            .iter()
+            .any(|e| e.is_merge && e.forced && e.reversible && e.next == (vec![4u8], vec![4u8])));
+    }
+}

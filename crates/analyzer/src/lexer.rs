@@ -1,0 +1,426 @@
+//! A minimal hand-rolled Rust lexer — just enough token structure for the
+//! `morph-lint` rules.
+//!
+//! The lint rules need three things a plain text grep cannot give:
+//!
+//! 1. **Comments and string literals must not trigger rules** — module
+//!    docs legitimately say "threads of one application" and error
+//!    messages legitimately contain "panic".
+//! 2. **Comments must still be *visible*** — suppression directives live
+//!    in `// morph-lint: allow(...)` comments.
+//! 3. **Adjacency matters** — `std :: thread` is a path, `.unwrap(` is a
+//!    method call, `panic !` is a macro invocation.
+//!
+//! So the lexer produces a flat token stream with line numbers, keeping
+//! comments as tokens. It understands line/block comments (nested),
+//! string/raw-string/byte-string/char literals, lifetimes, raw
+//! identifiers, numbers and punctuation. It does not attempt full
+//! fidelity (float suffix corner cases and the like) — unrecognized bytes
+//! become single-character punctuation tokens, which is always safe for
+//! our pattern matching.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+    /// Integer or float literal.
+    Number,
+    /// String, raw string, byte string or char literal.
+    Literal,
+    /// `// ...` comment, text *without* the leading slashes.
+    LineComment,
+    /// `/* ... */` comment, text without the delimiters.
+    BlockComment,
+    /// Any single punctuation character (`:`, `.`, `!`, `(`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Token text (see [`TokenKind`] for comment trimming).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    fn new(kind: TokenKind, text: impl Into<String>, line: u32) -> Self {
+        Self {
+            kind,
+            text: text.into(),
+            line,
+        }
+    }
+
+    /// True for an identifier token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+}
+
+/// Lexes `source` into a token stream. Never fails: malformed input
+/// degrades to punctuation tokens.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'r' | b'b' if self.raw_or_byte_string() => {}
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => {
+                    let ch = self.next_char();
+                    self.out.push(Token::new(TokenKind::Punct, ch, self.line));
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one (possibly multi-byte) UTF-8 character.
+    fn next_char(&mut self) -> String {
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start.min(self.pos)..self.pos]);
+        self.out
+            .push(Token::new(TokenKind::LineComment, text.into_owned(), line));
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos + 2;
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+                self.pos += 1;
+            } else if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                end = self.pos;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        if depth > 0 {
+            end = self.pos; // unterminated: comment runs to EOF
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start.min(end)..end]);
+        self.out
+            .push(Token::new(TokenKind::BlockComment, text.into_owned(), line));
+    }
+
+    /// Ordinary `"..."` string with escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos += 2,
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos.min(self.bytes.len())]);
+        self.out
+            .push(Token::new(TokenKind::Literal, text.into_owned(), line));
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#` and raw
+    /// identifiers (`r#ident`). Returns false if the current position is
+    /// a plain identifier starting with `r`/`b` (caller lexes it).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut look = self.pos + 1;
+        // Optional second prefix letter (br / rb is not legal but harmless).
+        if matches!(self.bytes.get(look), Some(b'r') | Some(b'b')) {
+            look += 1;
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(look) == Some(&b'#') {
+            hashes += 1;
+            look += 1;
+        }
+        match self.bytes.get(look) {
+            Some(b'"') => {}
+            // `r#ident` — a raw identifier, not a string.
+            Some(c) if hashes == 1 && (c.is_ascii_alphanumeric() || *c == b'_') => return false,
+            _ => return false,
+        }
+        let line = self.line;
+        let start = self.pos;
+        self.pos = look + 1;
+        let closer: Vec<u8> = std::iter::once(b'"').chain(vec![b'#'; hashes]).collect();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'\n' {
+                self.line += 1;
+            }
+            if hashes == 0 && start + 1 == look {
+                // Plain string body (only reachable for b"..."): respect escapes.
+                if self.bytes[self.pos] == b'\\' {
+                    self.pos += 2;
+                    continue;
+                }
+            }
+            if self.bytes[self.pos..].starts_with(&closer) {
+                self.pos += closer.len();
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos.min(self.bytes.len())]);
+        self.out
+            .push(Token::new(TokenKind::Literal, text.into_owned(), line));
+        true
+    }
+
+    /// Distinguishes `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Escaped char literal: definitely a char.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2; // ' and backslash
+            self.pos += 1; // escaped char (multi-char escapes end at ')
+            while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 1).min(self.bytes.len());
+            let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+            self.out
+                .push(Token::new(TokenKind::Literal, text.into_owned(), line));
+            return;
+        }
+        // `'x'` is a char literal; `'ident` (no closing quote) a lifetime.
+        let mut look = self.pos + 1;
+        while self
+            .bytes
+            .get(look)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_' || (*c & 0x80) != 0)
+        {
+            look += 1;
+        }
+        if self.bytes.get(look) == Some(&b'\'') && look > self.pos + 1 || look == self.pos + 2 {
+            // 'x' (single char + closing quote) — char literal.
+            if self.bytes.get(look) == Some(&b'\'') {
+                self.pos = look + 1;
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                self.out
+                    .push(Token::new(TokenKind::Literal, text.into_owned(), line));
+                return;
+            }
+        }
+        // Lifetime.
+        self.pos = look;
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        self.out
+            .push(Token::new(TokenKind::Lifetime, text.into_owned(), line));
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric()
+                || self.bytes[self.pos] == b'_'
+                || self.bytes[self.pos] == b'.')
+        {
+            // `0..10` range: stop before the second dot.
+            if self.bytes[self.pos] == b'.' && self.peek(1) == Some(b'.') {
+                break;
+            }
+            // `1.method()` — treat the dot as punctuation.
+            if self.bytes[self.pos] == b'.' && self.peek(1).is_some_and(|c| c.is_ascii_alphabetic())
+            {
+                break;
+            }
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        self.out
+            .push(Token::new(TokenKind::Number, text.into_owned(), line));
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        // Raw identifier prefix.
+        if self.bytes[self.pos] == b'r' && self.peek(1) == Some(b'#') {
+            self.pos += 2;
+        }
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+        self.out
+            .push(Token::new(TokenKind::Ident, text.into_owned(), line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_calls() {
+        let toks = lex("std::time::Instant::now()");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["std", "time", "Instant", "now"]);
+    }
+
+    #[test]
+    fn comments_do_not_leak_code_tokens() {
+        let toks = lex("// HashMap in a comment\nlet x = 1; /* panic! here */");
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "HashMap"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::LineComment && t.text.contains("HashMap")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::BlockComment && t.text.contains("panic")));
+    }
+
+    #[test]
+    fn strings_are_opaque() {
+        let toks = lex(r#"let m = "uses HashMap and panic!";"#);
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let toks = lex(r##"let s = r#"Instant "quoted""#; let t = "esc \" Instant";"##);
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Literal, "'x'".into())));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let c = '\n'; let q = '\'';");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert!(toks.iter().any(|t| t.is_ident("fn")));
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..16 { x[i] = 1.5e3; }");
+        assert!(toks.contains(&(TokenKind::Number, "0".into())));
+        assert!(toks.contains(&(TokenKind::Number, "16".into())));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e3".into())));
+    }
+
+    #[test]
+    fn method_call_on_number() {
+        let toks = kinds("1.max(2)");
+        assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+    }
+}

@@ -1,0 +1,30 @@
+//! # morph-analyzer
+//!
+//! Dependency-free static analysis for the MorphCache workspace, in two
+//! halves:
+//!
+//! * [`lint`] — source-level determinism/robustness lints over all
+//!   library crates ([`lexer`] provides the hand-rolled token stream;
+//!   no `syn`, no external dependencies, the workspace builds offline).
+//! * [`lattice`] — an exhaustive model check of the merge/split
+//!   reconfiguration lattice: every reachable `(L2, L3)` topology state
+//!   is enumerated and proved to be a valid buddy partition, preserve
+//!   inclusion capacity, keep the arbitration graph a spanning tree,
+//!   and remain reversible back to the all-private base.
+//!
+//! The `morph-lint` binary exposes both:
+//!
+//! ```text
+//! morph-lint lint [--json] [--root PATH]   # exit 1 on findings
+//! morph-lint lattice [--json] [--cores N]  # exit 1 on violations
+//! ```
+//!
+//! [`json`] is the minimal writer/parser behind `--json`.
+
+pub mod json;
+pub mod lattice;
+pub mod lexer;
+pub mod lint;
+
+pub use lattice::{Lattice, LatticeReport};
+pub use lint::{lint_source, lint_tree, Finding};

@@ -1,0 +1,184 @@
+//! `morph-lint`: the MorphCache static-analysis CLI.
+//!
+//! ```text
+//! morph-lint lint [--json] [--root PATH]   # determinism/robustness lints
+//! morph-lint lattice [--json] [--cores N]  # topology lattice model check
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings/violations, 2 usage or I/O error.
+
+use morph_analyzer::json::{escape, findings_to_json};
+use morph_analyzer::lattice::Lattice;
+use morph_analyzer::lint::lint_tree;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("lattice") => run_lattice(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(0)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match code {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("morph-lint: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+const USAGE: &str = "\
+morph-lint: dependency-free static analysis for the MorphCache workspace
+
+USAGE:
+    morph-lint lint [--json] [--root PATH]
+        Lint all library crates for determinism/robustness violations:
+        no-default-hasher-iteration, no-wallclock, no-panic-in-lib,
+        no-foreign-rng, no-unapproved-thread-state. Suppress a finding
+        with `// morph-lint: allow(<rule>, reason = \"...\")` on the
+        same or previous line. PATH defaults to the enclosing workspace
+        root.
+
+    morph-lint lattice [--json] [--cores N]
+        Exhaustively enumerate the reachable (L2, L3) topology lattice
+        from the merge/split rules and prove: valid buddy partitions,
+        inclusion capacity, spanning-tree arbitration, reversibility.
+        N defaults to 16 (the paper's CMP).
+
+Exit status: 0 clean, 1 findings or violations, 2 usage/I/O error.
+";
+
+fn run_lint(args: &[String]) -> Result<i32, String> {
+    let mut json = false;
+    let mut root: Option<std::path::PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => {
+                let path = it.next().ok_or("--root requires a path")?;
+                root = Some(path.into());
+            }
+            other => return Err(format!("unknown lint option {other:?}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => workspace_root()?,
+    };
+    let findings = lint_tree(&root)?;
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else if findings.is_empty() {
+        println!("morph-lint: clean ({})", root.display());
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!("morph-lint: {} finding(s)", findings.len());
+    }
+    Ok(i32::from(!findings.is_empty()))
+}
+
+fn run_lattice(args: &[String]) -> Result<i32, String> {
+    let mut json = false;
+    let mut cores = 16usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--cores" => {
+                let v = it.next().ok_or("--cores requires a number")?;
+                cores = v
+                    .parse()
+                    .map_err(|e| format!("bad --cores value {v:?}: {e}"))?;
+            }
+            other => return Err(format!("unknown lattice option {other:?}")),
+        }
+    }
+    let report = Lattice::new(cores)?.check();
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cores\": {},\n", report.cores));
+        out.push_str(&format!(
+            "  \"reachable_states\": {},\n",
+            report.reachable_states
+        ));
+        out.push_str(&format!(
+            "  \"predicted_states\": {},\n",
+            report.predicted_states
+        ));
+        out.push_str(&format!("  \"l3_partitions\": {},\n", report.l3_partitions));
+        out.push_str(&format!(
+            "  \"predicted_l3_partitions\": {},\n",
+            report.predicted_l3_partitions
+        ));
+        out.push_str(&format!("  \"transitions\": {},\n", report.transitions));
+        out.push_str(&format!("  \"forced_covers\": {},\n", report.forced_covers));
+        out.push_str(&format!("  \"holds\": {},\n", report.holds()));
+        out.push_str("  \"violations\": [");
+        for (i, v) in report.violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&escape(&v.to_string()));
+        }
+        out.push_str("]\n}");
+        println!("{out}");
+    } else {
+        println!("topology lattice over {} slices:", report.cores);
+        println!(
+            "  reachable (L2, L3) states: {} (closed form: {})",
+            report.reachable_states, report.predicted_states
+        );
+        println!(
+            "  distinct L3 partitions:    {} (closed form: {})",
+            report.l3_partitions, report.predicted_l3_partitions
+        );
+        println!(
+            "  transitions explored:      {} ({} forced L3 covers)",
+            report.transitions, report.forced_covers
+        );
+        if report.holds() {
+            println!(
+                "  all 4 invariants hold: buddy partitions, inclusion capacity,\n  \
+                 spanning-tree arbitration, reversibility to (1:1:{})",
+                report.cores
+            );
+        } else {
+            for v in &report.violations {
+                println!("  VIOLATION: {v}");
+            }
+            if report.reachable_states != report.predicted_states {
+                println!(
+                    "  VIOLATION: state count {} != closed form {}",
+                    report.reachable_states, report.predicted_states
+                );
+            }
+        }
+    }
+    Ok(i32::from(!report.holds()))
+}
+
+/// Walks up from the current directory to the enclosing workspace root
+/// (the first `Cargo.toml` declaring `[workspace]`).
+fn workspace_root() -> Result<std::path::PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getting cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest)
+                .map_err(|e| format!("reading {}: {e}", manifest.display()))?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no enclosing Cargo workspace found; pass --root".into());
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: malformed directives must be findings themselves, and must
+//! not silence the original finding.
+pub fn broken(groups: &[Vec<usize>]) -> usize {
+    // morph-lint: allow(no-panic-in-lib)
+    let g = groups.first().expect("non-empty");
+    g.len()
+}
+
+pub fn unknown_rule() {
+    // morph-lint: allow(no-such-rule, reason = "typo")
+    let _ = ();
+}

@@ -1,0 +1,13 @@
+//! Positive fixture: sim-state code holding a default-hasher container.
+use std::collections::HashMap;
+
+pub struct SliceDirectory {
+    owners: HashMap<u64, usize>,
+}
+
+impl SliceDirectory {
+    pub fn snapshot(&self) -> Vec<(u64, usize)> {
+        // Iteration order here depends on the process hash seed.
+        self.owners.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}

@@ -1,0 +1,28 @@
+//! Negative fixture: deterministic containers, plus a HashMap that only
+//! appears in test code and in comments/strings.
+use std::collections::BTreeMap;
+
+pub struct SliceDirectory {
+    owners: BTreeMap<u64, usize>,
+}
+
+impl SliceDirectory {
+    pub fn snapshot(&self) -> Vec<(u64, usize)> {
+        // A HashMap here would be nondeterministic; "HashSet" in a string
+        // is fine too.
+        let _ = "HashSet";
+        self.owners.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_containers_are_exempt() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2usize);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+//! Positive fixture: externally seeded randomness in simulator code.
+pub fn shuffle_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn hasher_seed() -> std::collections::hash_map::RandomState {
+    RandomState::new()
+}

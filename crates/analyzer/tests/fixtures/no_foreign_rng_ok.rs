@@ -1,0 +1,7 @@
+//! Negative fixture: all randomness flows through the vendored PRNG.
+use morphcache::rng::Xoshiro256pp;
+
+pub fn shuffle_seed(seed: u64) -> u64 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    rng.next_u64()
+}

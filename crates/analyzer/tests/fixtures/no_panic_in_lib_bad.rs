@@ -1,0 +1,12 @@
+//! Positive fixture: library code with panicking error paths.
+pub fn pick(groups: &[Vec<usize>], slice: usize) -> usize {
+    let g = groups.iter().find(|g| g.contains(&slice)).unwrap();
+    if g.is_empty() {
+        panic!("empty group");
+    }
+    g.first().copied().expect("non-empty")
+}
+
+pub fn later() {
+    todo!()
+}

@@ -1,0 +1,23 @@
+//! Negative fixture: typed-error returns; panicking combinators that do
+//! not panic (`unwrap_or`) and test-only asserts are fine.
+pub fn pick(groups: &[Vec<usize>], slice: usize) -> Result<usize, String> {
+    groups
+        .iter()
+        .find(|g| g.contains(&slice))
+        .and_then(|g| g.first().copied())
+        .ok_or_else(|| format!("slice {slice} belongs to no group"))
+}
+
+pub fn pick_or_zero(groups: &[Vec<usize>], slice: usize) -> usize {
+    pick(groups, slice).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(pick(&[vec![0]], 0).unwrap(), 0);
+    }
+}

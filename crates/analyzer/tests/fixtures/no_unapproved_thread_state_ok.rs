@@ -1,0 +1,13 @@
+//! Negative fixture: single-threaded simulator state.
+pub struct Counters {
+    hits: u64,
+    log: Vec<u64>,
+}
+
+impl Counters {
+    pub fn record(&mut self, v: u64) {
+        // The words Mutex and std::thread in comments must not fire.
+        self.hits += 1;
+        self.log.push(v);
+    }
+}

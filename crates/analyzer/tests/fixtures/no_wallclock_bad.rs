@@ -1,0 +1,12 @@
+//! Positive fixture: wall-clock reads outside morph-metrics::timing.
+use std::time::Instant;
+
+pub fn epoch_budget() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: simulated time only — cycle counters, no wall clock.
+pub struct CycleClock {
+    now: u64,
+}
+
+impl CycleClock {
+    pub fn tick(&mut self) -> u64 {
+        // "Instant" in a comment or string must not fire.
+        let _ = "std::time::Instant";
+        self.now += 1;
+        self.now
+    }
+}

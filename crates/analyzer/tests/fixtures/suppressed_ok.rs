@@ -1,0 +1,11 @@
+//! Fixture: findings silenced by well-formed allow directives, on the
+//! previous line and inline.
+pub fn pinned(groups: &[Vec<usize>]) -> usize {
+    // morph-lint: allow(no-panic-in-lib, reason = "groups is a validated non-empty partition")
+    let g = groups.first().expect("non-empty");
+    g.len()
+}
+
+pub fn inline(groups: &[Vec<usize>]) -> usize {
+    groups.len().checked_sub(1).unwrap() // morph-lint: allow(no-panic-in-lib, reason = "len >= 1 by construction")
+}

@@ -1,0 +1,31 @@
+//! The workspace gate: `morph-lint` must report zero findings over this
+//! repository. Every rule violation is either fixed or carries an
+//! explicit `// morph-lint: allow(<rule>, reason = "...")` justification;
+//! this test is what keeps it that way.
+
+use morph_analyzer::lint::lint_tree;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("analyzer crate lives two levels below the workspace root")
+        .to_path_buf();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let findings = lint_tree(&root).expect("workspace tree is readable");
+    assert!(
+        findings.is_empty(),
+        "morph-lint found {} finding(s); fix them or add a justified allow:\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -124,6 +124,7 @@ impl DsrLevel {
         let way = self.slices[core]
             .invalid_way(set)
             .or_else(|| self.slices[core].lru_way(set).map(|(w, _)| w))
+            // morph-lint: allow(no-panic-in-lib, reason = "a validated geometry has ways >= 1, so a set always holds an invalid way or an LRU victim")
             .expect("set has a victim");
         let displaced = self.slices[core].install(
             set,
@@ -144,6 +145,7 @@ impl DsrLevel {
                     let rway = self.slices[receiver]
                         .invalid_way(set)
                         .or_else(|| self.slices[receiver].lru_way(set).map(|(w, _)| w))
+                        // morph-lint: allow(no-panic-in-lib, reason = "same ways >= 1 victim invariant as the local set above")
                         .expect("receiver set has a victim");
                     if let Some(dropped) = self.slices[receiver].install(set, rway, victim) {
                         gone.push((dropped.line, dropped.owner));
@@ -255,6 +257,7 @@ impl DsrSystem {
         let way = self.l1[core]
             .invalid_way(set)
             .or_else(|| self.l1[core].lru_way(set).map(|(w, _)| w))
+            // morph-lint: allow(no-panic-in-lib, reason = "same ways >= 1 victim invariant; L1 geometry validated at construction")
             .expect("L1 set has a victim");
         self.l1[core].install(
             set,

@@ -36,15 +36,15 @@ fn main() {
     t.row_f64("default (256KB L2 / 1MB L3, 16 cores)", &[gain(&base, &mixes, 16)], 2);
 
     let mut cfg = base;
-    cfg.hierarchy = cfg.hierarchy.with_l2_capacity(512 * 1024);
+    cfg.hierarchy = cfg.hierarchy.with_l2_capacity(512 * 1024).expect("valid L2 geometry");
     t.row_f64("512KB L2 slices", &[gain(&cfg, &mixes, 16)], 2);
 
     let mut cfg = base;
-    cfg.hierarchy = cfg.hierarchy.with_l3_capacity(2 * 1024 * 1024);
+    cfg.hierarchy = cfg.hierarchy.with_l3_capacity(2 * 1024 * 1024).expect("valid L3 geometry");
     t.row_f64("2MB L3 slices", &[gain(&cfg, &mixes, 16)], 2);
 
     let mut cfg = base;
-    cfg.hierarchy = cfg.hierarchy.with_doubled_associativity();
+    cfg.hierarchy = cfg.hierarchy.with_doubled_associativity().expect("valid doubled geometry");
     t.row_f64("2x associativity", &[gain(&cfg, &mixes, 16)], 2);
 
     let mut cfg = base;

@@ -68,8 +68,11 @@ impl HierarchyParams {
     pub fn paper(n_cores: usize) -> Self {
         Self {
             n_cores,
+            // morph-lint: allow(no-panic-in-lib, reason = "Table 3 constants: power-of-two capacity/ways/block always yield a valid geometry, pinned by the paper_geometry test")
             l1: CacheParams::from_capacity(32 * 1024, 4, 64).expect("valid L1 geometry"),
+            // morph-lint: allow(no-panic-in-lib, reason = "Table 3 constants, see above")
             l2_slice: CacheParams::from_capacity(256 * 1024, 8, 64).expect("valid L2 geometry"),
+            // morph-lint: allow(no-panic-in-lib, reason = "Table 3 constants, see above")
             l3_slice: CacheParams::from_capacity(1024 * 1024, 16, 64).expect("valid L3 geometry"),
             latency: LatencyParams::paper(),
             replacement: ReplacementKind::Lru,
@@ -81,8 +84,11 @@ impl HierarchyParams {
     pub fn scaled_down(n_cores: usize) -> Self {
         Self {
             n_cores,
+            // morph-lint: allow(no-panic-in-lib, reason = "1/8-scale constants with the same power-of-two shape as paper(); cannot fail geometry validation")
             l1: CacheParams::from_capacity(4 * 1024, 4, 64).expect("valid L1 geometry"),
+            // morph-lint: allow(no-panic-in-lib, reason = "scaled constants, see above")
             l2_slice: CacheParams::from_capacity(32 * 1024, 8, 64).expect("valid L2 geometry"),
+            // morph-lint: allow(no-panic-in-lib, reason = "scaled constants, see above")
             l3_slice: CacheParams::from_capacity(128 * 1024, 16, 64).expect("valid L3 geometry"),
             latency: LatencyParams::paper(),
             replacement: ReplacementKind::Lru,
@@ -91,48 +97,46 @@ impl HierarchyParams {
 
     /// Returns a copy with a different L2 slice capacity (same ways/block).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the implied geometry is invalid.
-    pub fn with_l2_capacity(mut self, bytes: usize) -> Self {
+    /// Returns a [`ConfigError`] if the implied geometry is invalid
+    /// (e.g. a capacity that does not divide into power-of-two sets).
+    pub fn with_l2_capacity(mut self, bytes: usize) -> Result<Self, ConfigError> {
         self.l2_slice =
-            CacheParams::from_capacity(bytes, self.l2_slice.ways(), self.l2_slice.block_bytes())
-                .expect("valid L2 geometry");
-        self
+            CacheParams::from_capacity(bytes, self.l2_slice.ways(), self.l2_slice.block_bytes())?;
+        Ok(self)
     }
 
     /// Returns a copy with a different L3 slice capacity (same ways/block).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the implied geometry is invalid.
-    pub fn with_l3_capacity(mut self, bytes: usize) -> Self {
+    /// Returns a [`ConfigError`] if the implied geometry is invalid.
+    pub fn with_l3_capacity(mut self, bytes: usize) -> Result<Self, ConfigError> {
         self.l3_slice =
-            CacheParams::from_capacity(bytes, self.l3_slice.ways(), self.l3_slice.block_bytes())
-                .expect("valid L3 geometry");
-        self
+            CacheParams::from_capacity(bytes, self.l3_slice.ways(), self.l3_slice.block_bytes())?;
+        Ok(self)
     }
 
     /// Returns a copy with doubled L2/L3 associativity at constant capacity
     /// (the §5.4 sensitivity experiment).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the implied geometry is invalid.
-    pub fn with_doubled_associativity(mut self) -> Self {
+    /// Returns a [`ConfigError`] if the implied geometry is invalid
+    /// (doubling the ways halves the set count, which can reach zero).
+    pub fn with_doubled_associativity(mut self) -> Result<Self, ConfigError> {
         self.l2_slice = CacheParams::from_capacity(
             self.l2_slice.capacity_bytes(),
             self.l2_slice.ways() * 2,
             self.l2_slice.block_bytes(),
-        )
-        .expect("valid L2 geometry");
+        )?;
         self.l3_slice = CacheParams::from_capacity(
             self.l3_slice.capacity_bytes(),
             self.l3_slice.ways() * 2,
             self.l3_slice.block_bytes(),
-        )
-        .expect("valid L3 geometry");
-        self
+        )?;
+        Ok(self)
     }
 }
 
@@ -403,6 +407,7 @@ impl Hierarchy {
         let way = self.l1[core]
             .invalid_way(set)
             .or_else(|| self.l1[core].lru_way(set).map(|(w, _)| w))
+            // morph-lint: allow(no-panic-in-lib, reason = "a set has ways >= 1, so it always holds an invalid way or an LRU victim; geometry validated at construction")
             .expect("L1 set always has a victim");
         let displaced = self.l1[core].install(
             set,

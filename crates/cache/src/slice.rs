@@ -191,6 +191,7 @@ impl Slice {
                 if !pred(e) {
                     self.tags[idx] = NO_LINE;
                     self.stamps[idx] = u64::MAX;
+                    // morph-lint: allow(no-panic-in-lib, reason = "inside `if let Some(e) = slot`, so the slot is provably occupied")
                     f(slot.take().expect("slot was Some"));
                 }
             }
@@ -335,6 +336,7 @@ impl CacheLevel {
         for &s in members {
             if let Some(way) = self.slices[s].probe(line) {
                 let set = self.slices[s].params().set_index(line);
+                // morph-lint: allow(no-panic-in-lib, reason = "way was just returned by probe() for this line, so the entry exists")
                 let stamp = self.slices[s].entry(set, way).expect("probed entry").stamp;
                 match best {
                     None => best = Some((s, way, stamp)),
@@ -464,6 +466,7 @@ impl CacheLevel {
                 }
             };
         }
+        // morph-lint: allow(no-panic-in-lib, reason = "every replacement arm yields Some: a validated geometry has ways >= 1, so a victim always exists")
         let (s, w) = target.expect("a set always has a victim");
         let stamp = self.next_stamp();
         let displaced = self.slices[s].install(

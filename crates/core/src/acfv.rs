@@ -123,9 +123,13 @@ impl Acfv {
 /// The oracle footprint estimator of Fig. 5: a one-to-one mapping from
 /// lines to bits, i.e. an exact set of the distinct resident-and-referenced
 /// lines this epoch.
+///
+/// Backed by a `BTreeSet` rather than a default-hasher `HashSet` so that
+/// iteration (and any future serialization of the footprint) is in stable
+/// tag order, independent of the process's hash seed.
 #[derive(Debug, Clone, Default)]
 pub struct ExactFootprint {
-    lines: std::collections::HashSet<u64>,
+    lines: std::collections::BTreeSet<u64>,
 }
 
 impl ExactFootprint {
@@ -157,6 +161,12 @@ impl ExactFootprint {
     /// Clears the oracle at the interval boundary.
     pub fn reset(&mut self) {
         self.lines.clear();
+    }
+
+    /// Iterates the resident tags in ascending order (deterministic
+    /// across processes and runs).
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines.iter().copied()
     }
 }
 
@@ -283,5 +293,25 @@ mod tests {
         let a = Acfv::new(64, HashKind::Xor);
         let b = Acfv::new(128, HashKind::Xor);
         let _ = a.overlap(&b);
+    }
+
+    /// Regression for the default-hasher replacement: the oracle's
+    /// iteration order must be a pure function of its contents, never of
+    /// the process's hash seed. Serializes the order and pins it.
+    #[test]
+    fn exact_footprint_iteration_order_is_deterministic() {
+        let mut o = ExactFootprint::new();
+        for tag in [0xdead_beef_u64, 3, 0xffff_ffff_ffff_ffff, 42, 7, 42] {
+            o.record_insert(tag);
+        }
+        o.record_evict(7);
+        let order: Vec<u64> = o.iter().collect();
+        assert_eq!(order, vec![3, 42, 0xdead_beef, 0xffff_ffff_ffff_ffff]);
+        let serialized = order
+            .iter()
+            .map(|t| format!("{t:x}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(serialized, "3,2a,deadbeef,ffffffffffffffff");
     }
 }

@@ -331,12 +331,14 @@ impl MorphEngine {
             CacheLevelId::L2 => &self.l2,
             CacheLevelId::L3 => &self.l3,
         };
-        let g = state
+        // Groups always partition the slice space, so a valid index is
+        // found; an out-of-range probe reads as an empty (0.0) group
+        // instead of panicking mid-epoch.
+        state
             .groups
             .iter()
             .find(|g| g.contains(&slice))
-            .expect("slice belongs to a group");
-        state.utilization(g)
+            .map_or(0.0, |g| state.utilization(g))
     }
 
     /// QoS hook (§5.3): call once per epoch with the per-core miss counts
@@ -477,11 +479,12 @@ impl MorphEngine {
                     CacheLevelId::L2 => &mut self.l2,
                     CacheLevelId::L3 => &mut self.l3,
                 };
-                let gi = state
-                    .groups
-                    .iter()
-                    .position(|g| *g == span)
-                    .expect("checked above");
+                // The `contains` check above guarantees the position
+                // exists; guarded rather than unwrapped so a racing edit
+                // to that check can never panic an epoch.
+                let Some(gi) = state.groups.iter().position(|g| *g == span) else {
+                    continue;
+                };
                 state.groups[gi] = p.half_a.clone();
                 state.groups.push(p.half_b.clone());
                 sort_groups(&mut state.groups);
@@ -669,12 +672,7 @@ impl MorphEngine {
                 half_b: groups[j].clone(),
                 pre_perf: pre,
             });
-            let merged = merge_groups(&groups, i, j);
-            let new_members = merged
-                .iter()
-                .find(|g| g.contains(&groups[i][0]))
-                .expect("merged group")
-                .clone();
+            let (merged, new_members) = merge_groups(&groups, i, j);
             match level {
                 CacheLevelId::L2 => self.l2.groups = merged,
                 CacheLevelId::L3 => self.l3.groups = merged,
@@ -777,12 +775,7 @@ impl MorphEngine {
                 break;
             }
             let (i, j) = (idx[0], idx[1]);
-            let merged = merge_groups(&self.l3.groups, i, j);
-            let new_members = merged
-                .iter()
-                .find(|g| g.contains(&self.l3.groups[i][0]))
-                .expect("merged group")
-                .clone();
+            let (merged, new_members) = merge_groups(&self.l3.groups, i, j);
             self.l3.groups = merged;
             events.push(ReconfigEvent {
                 epoch,
@@ -844,37 +837,20 @@ fn corrected_overlap(a: &Acfv, b: &Acfv) -> f64 {
     ((and_frac - expected) / denom).clamp(0.0, 1.0)
 }
 
-/// True if `a` and `b` are buddy siblings: equal power-of-two sizes,
-/// contiguous, and together forming an aligned range of twice the size.
-fn buddy_siblings(a: &[usize], b: &[usize]) -> bool {
-    if a.len() != b.len() || !a.len().is_power_of_two() {
-        return false;
-    }
-    let contiguous = |g: &[usize]| g.windows(2).all(|w| w[1] == w[0] + 1);
-    if !contiguous(a) || !contiguous(b) {
-        return false;
-    }
-    let (lo, hi) = if a[0] < b[0] { (a, b) } else { (b, a) };
-    hi[0] == lo[lo.len() - 1] + 1 && lo[0] % (2 * a.len()) == 0
-}
-
-/// True if `a` and `b` are adjacent contiguous ranges (either order).
-fn adjacent(a: &[usize], b: &[usize]) -> bool {
-    let contiguous = |g: &[usize]| g.windows(2).all(|w| w[1] == w[0] + 1);
-    if !contiguous(a) || !contiguous(b) {
-        return false;
-    }
-    let (lo, hi) = if a[0] < b[0] { (a, b) } else { (b, a) };
-    hi[0] == lo[lo.len() - 1] + 1
-}
+// The buddy-sibling and adjacency predicates moved to
+// `crate::topology` so the static lattice model check (morph-analyzer)
+// and the runtime engine provably use the same transition rules.
+use crate::topology::{adjacent, buddy_siblings};
 
 /// True if one group of `groups` contains every slice of `span`.
 fn covered_by_one(span: &[usize], groups: &[Vec<usize>]) -> bool {
     groups.iter().any(|g| span.iter().all(|s| g.contains(s)))
 }
 
-/// Returns `groups` with groups `i` and `j` merged (sorted, canonical).
-fn merge_groups(groups: &[Vec<usize>], i: usize, j: usize) -> Vec<Vec<usize>> {
+/// Returns `groups` with groups `i` and `j` merged (sorted, canonical),
+/// along with the merged group's members — so callers never have to
+/// re-find (and unwrap) the group they just created.
+fn merge_groups(groups: &[Vec<usize>], i: usize, j: usize) -> (Vec<Vec<usize>>, Vec<usize>) {
     let mut out: Vec<Vec<usize>> = Vec::with_capacity(groups.len() - 1);
     let mut merged = groups[i].clone();
     merged.extend(groups[j].iter().copied());
@@ -884,9 +860,9 @@ fn merge_groups(groups: &[Vec<usize>], i: usize, j: usize) -> Vec<Vec<usize>> {
             out.push(g.clone());
         }
     }
-    out.push(merged);
+    out.push(merged.clone());
     sort_groups(&mut out);
-    out
+    (out, merged)
 }
 
 /// Splits a group into its two halves by member order.

@@ -68,6 +68,7 @@ impl SymmetricTopology {
     pub fn paper_static_set() -> Vec<SymmetricTopology> {
         [(16, 1, 1), (1, 1, 16), (4, 4, 1), (8, 2, 1), (1, 16, 1)]
             .into_iter()
+            // morph-lint: allow(no-panic-in-lib, reason = "compile-time constant list; every tuple multiplies to 16, covered by the paper_static_set_contents test")
             .map(|(x, y, z)| SymmetricTopology::new(x, y, z, 16).expect("valid static topology"))
             .collect()
     }
@@ -144,9 +145,51 @@ pub fn meet(a: &[Vec<usize>], b: &[Vec<usize>]) -> Vec<Vec<usize>> {
 /// (the §5.5 "physical groups that are supersets of the required logical
 /// groups"). Used to derive the latency penalty of relaxed groupings.
 pub fn covering_pow2_span(group: &[usize]) -> usize {
+    // morph-lint: allow(no-panic-in-lib, reason = "documented precondition; all call sites pass groups produced by is_partition-validated groupings, which are non-empty")
     let min = *group.iter().min().expect("non-empty group");
+    // morph-lint: allow(no-panic-in-lib, reason = "same non-empty precondition as above")
     let max = *group.iter().max().expect("non-empty group");
     (max - min + 1).next_power_of_two()
+}
+
+/// True if `a` and `b` are *buddy siblings*: equal power-of-two-sized
+/// contiguous ranges that are the two halves of one aligned block twice
+/// their size. Buddy-sibling merges are the only merges the
+/// `BuddyPowerOfTwo` grouping mode performs, which keeps every group a
+/// hardware-mappable aligned segment of the bus.
+pub fn buddy_siblings(a: &[usize], b: &[usize]) -> bool {
+    if a.len() != b.len() || !a.len().is_power_of_two() {
+        return false;
+    }
+    let contiguous = |g: &[usize]| g.windows(2).all(|w| w[1] == w[0] + 1);
+    if !contiguous(a) || !contiguous(b) {
+        return false;
+    }
+    let (lo, hi) = if a[0] < b[0] { (a, b) } else { (b, a) };
+    hi[0] == lo[lo.len() - 1] + 1 && lo[0] % (2 * a.len()) == 0
+}
+
+/// True if `a` and `b` are adjacent contiguous ranges (either order).
+pub fn adjacent(a: &[usize], b: &[usize]) -> bool {
+    let contiguous = |g: &[usize]| g.windows(2).all(|w| w[1] == w[0] + 1);
+    if !contiguous(a) || !contiguous(b) {
+        return false;
+    }
+    let (lo, hi) = if a[0] < b[0] { (a, b) } else { (b, a) };
+    hi[0] == lo[lo.len() - 1] + 1
+}
+
+/// True if `groups` is a partition of `0..n` into *buddy blocks*:
+/// contiguous power-of-two-sized ranges, each aligned to its own size.
+/// These are exactly the partitions reachable by buddy merges and splits,
+/// and exactly the group shapes the arbiter tree can be configured for.
+pub fn is_buddy_partition(groups: &[Vec<usize>], n: usize) -> bool {
+    is_partition(groups, n)
+        && groups.iter().all(|g| {
+            g.len().is_power_of_two()
+                && g.windows(2).all(|w| w[1] == w[0] + 1)
+                && g[0] % g.len() == 0
+        })
 }
 
 #[cfg(test)]
@@ -240,6 +283,29 @@ mod tests {
         assert!(refines(&m2, &a));
         assert!(refines(&m2, &c));
         assert!(m2.contains(&vec![3]));
+    }
+
+    #[test]
+    fn buddy_sibling_detection() {
+        assert!(buddy_siblings(&[0, 1], &[2, 3]));
+        assert!(buddy_siblings(&[2, 3], &[0, 1]));
+        assert!(!buddy_siblings(&[2, 3], &[4, 5])); // halves of different parents
+        assert!(!buddy_siblings(&[0, 1], &[2, 3, 4, 5])); // size mismatch
+        assert!(!buddy_siblings(&[0, 2], &[1, 3])); // not contiguous
+        assert!(adjacent(&[2, 3], &[4, 5]));
+        assert!(!adjacent(&[0, 1], &[4, 5]));
+    }
+
+    #[test]
+    fn buddy_partition_detection() {
+        assert!(is_buddy_partition(&contiguous_groups(8, 2), 8));
+        assert!(is_buddy_partition(
+            &[vec![0, 1, 2, 3], vec![4, 5], vec![6], vec![7]],
+            8
+        ));
+        assert!(!is_buddy_partition(&[vec![0], vec![1, 2], vec![3]], 4)); // unaligned
+        assert!(!is_buddy_partition(&[vec![0, 1, 2], vec![3]], 4)); // not pow2
+        assert!(!is_buddy_partition(&[vec![0, 1], vec![2, 3]], 8)); // incomplete
     }
 
     #[test]

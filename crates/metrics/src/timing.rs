@@ -1,6 +1,38 @@
 //! Wall-clock accounting for the parallel experiment matrix: per-cell
 //! compute seconds plus the elapsed wall time, from which the harness
 //! reports cells/sec and the speedup over a serial schedule.
+//!
+//! This module is the **only** place in the workspace allowed to touch
+//! `std::time` (enforced by the `no-wallclock` rule of `morph-lint`):
+//! simulation results must be pure functions of (config, workload,
+//! policy, seed), so wall-clock reads are quarantined behind
+//! [`Stopwatch`] and only ever feed *reporting* fields like
+//! [`MatrixTiming`], never simulated state.
+
+/// A quarantined wall-clock stopwatch.
+///
+/// The harness starts one per matrix run and one per cell; the elapsed
+/// seconds land in [`MatrixTiming`]. Keeping the `Instant` behind this
+/// type means a lint scan for `std::time` outside this module is
+/// sufficient to prove simulated state never observes the wall clock.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Self {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
 
 /// Timing of one matrix run: how long each cell took on its worker
 /// thread, and how long the whole matrix took end to end.
@@ -66,5 +98,14 @@ mod tests {
         assert_eq!(t.cells(), 0);
         assert_eq!(t.cells_per_sec(), 0.0);
         assert_eq!(t.parallel_speedup(), 1.0);
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_seconds();
+        let b = sw.elapsed_seconds();
+        assert!(a >= 0.0);
+        assert!(b >= a);
     }
 }

@@ -12,11 +12,11 @@ use crate::faults::FaultInjector;
 use crate::policy::Policy;
 use crate::sim::{EpochResult, SystemSim};
 use crate::workload::Workload;
+use morph_metrics::timing::Stopwatch;
 use morph_metrics::MatrixTiming;
 use morphcache::MorphError;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// The full result of one policy × workload run.
 #[derive(Debug, Clone, PartialEq)]
@@ -210,7 +210,11 @@ pub fn run_cells(
     cells: &[MatrixCell],
     jobs: usize,
 ) -> Result<ExperimentMatrix, MorphError> {
-    let wall = Instant::now();
+    // Wall-clock reads go through the quarantined Stopwatch so timing.rs
+    // stays the workspace's single no-wallclock-exempt module; the
+    // elapsed seconds only ever feed the reporting-side MatrixTiming,
+    // never a cell's simulated state.
+    let wall = Stopwatch::start();
     let workers = jobs.max(1).min(cells.len().max(1));
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<(Result<RunResult, MorphError>, f64)>> = Vec::new();
@@ -224,7 +228,7 @@ pub fn run_cells(
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
-                        let start = Instant::now();
+                        let start = Stopwatch::start();
                         let result = catch_unwind(AssertUnwindSafe(|| {
                             run_workload(&cfg.with_seed(cell.seed), &cell.workload, &cell.policy)
                         }))
@@ -233,7 +237,7 @@ pub fn run_cells(
                                 "experiment thread for cell {i} panicked"
                             )))
                         });
-                        mine.push((i, result, start.elapsed().as_secs_f64()));
+                        mine.push((i, result, start.elapsed_seconds()));
                     }
                     mine
                 })
@@ -258,7 +262,7 @@ pub fn run_cells(
     Ok(ExperimentMatrix {
         results,
         timing: MatrixTiming {
-            wall_seconds: wall.elapsed().as_secs_f64(),
+            wall_seconds: wall.elapsed_seconds(),
             cell_seconds,
         },
         jobs: workers,

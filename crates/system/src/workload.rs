@@ -133,7 +133,7 @@ mod tests {
         let cfg = SystemConfig::quick_test(4);
         let mut streams = w.streams(&cfg);
         // All threads draw from the same application space (top bits).
-        let tops: std::collections::HashSet<u64> = streams
+        let tops: std::collections::BTreeSet<u64> = streams
             .iter_mut()
             .map(|s| s.next_access().line >> 40)
             .collect();

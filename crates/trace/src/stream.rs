@@ -374,9 +374,9 @@ mod tests {
     use super::*;
     use crate::parsec;
     use crate::spec;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
-    fn unique_lines(s: &mut SyntheticStream, n: usize) -> HashSet<u64> {
+    fn unique_lines(s: &mut SyntheticStream, n: usize) -> BTreeSet<u64> {
         (0..n).map(|_| s.next_access().line).collect()
     }
 
@@ -554,7 +554,7 @@ mod tests {
     fn cold_stream_is_sequential_and_fresh() {
         let p = spec::profile("libquantum").unwrap();
         let mut s = SyntheticStream::new(p, StreamConfig::single_threaded(0, 19));
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut cold = Vec::new();
         for _ in 0..100_000 {
             let a = s.next_access();
