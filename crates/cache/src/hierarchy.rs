@@ -266,11 +266,14 @@ impl Hierarchy {
             let mut lost: Vec<Entry> = Vec::new();
             {
                 let (l2, l3) = (&mut self.l2, &self.l3);
-                l2.slice_mut(s)
-                    .retain_entries(|e| l3.resident_in(&l3_members, e.line), |e| lost.push(e));
+                l2.retain_slice_entries(
+                    s,
+                    |e| l3.resident_in(&l3_members, e.line),
+                    |e| lost.push(e),
+                );
             }
             for e in lost {
-                self.l2.slice_mut(s).stats.back_invalidations += 1;
+                self.l2.slice_stats_mut(s).back_invalidations += 1;
                 if e.dirty {
                     self.memory_writebacks += 1;
                 }
@@ -284,6 +287,9 @@ impl Hierarchy {
                 }
             }
         }
+        // The sweep above removed L2 entries through `slice_mut`, behind
+        // the back of the level's residency index.
+        self.l2.rebuild_index();
         Ok(())
     }
 
@@ -305,14 +311,17 @@ impl Hierarchy {
         self.stamp += 1;
         let stamp = self.stamp;
 
+        // Start fetching the L2 tag rows the group lookup would scan:
+        // most accesses miss L1, and issuing the fetches here hides them
+        // behind the L1 probe. Pure hint — no behavioral effect.
+        self.l2.prefetch_lookup(core, line);
+
         // L1.
         if let Some(way) = self.l1[core].probe(line) {
             let set = self.params.l1.set_index(line);
             self.l1[core].touch(set, way, stamp);
             if is_write {
-                if let Some(e) = self.l1[core].entry_mut(set, way) {
-                    e.dirty = true;
-                }
+                self.l1[core].set_dirty(set, way);
             }
             self.l1[core].stats.local_hits += 1;
             self.l1_stats.record(core, false);
@@ -365,19 +374,28 @@ impl Hierarchy {
     fn fill_l3(&mut self, core: CoreId, line: Line, sink: &mut dyn CacheEventSink) {
         if let Some(d) = self.l3.insert(core, line, false, sink) {
             // Inclusion: evict the victim from every L2 slice and L1 of the
-            // cores that share the victim's L3 group.
+            // cores that share the victim's L3 group. Borrowing the levels
+            // as disjoint fields lets the group's member list be used in
+            // place — no per-miss `to_vec` allocation.
             let victim = d.entry;
-            let l3_group = self.l3.grouping().group_members(d.slice).to_vec();
-            let dirty_l2 = self.l2.back_invalidate(&l3_group, victim.line, sink);
+            let Self {
+                l1,
+                l2,
+                l3,
+                memory_writebacks,
+                ..
+            } = self;
+            let l3_group: &[CoreId] = l3.grouping().group_members(d.slice);
+            let dirty_l2 = l2.back_invalidate(l3_group, victim.line, sink);
             let mut dirty_l1 = false;
-            for &c in &l3_group {
-                if let Some(e) = self.l1[c].invalidate(victim.line) {
-                    self.l1[c].stats.back_invalidations += 1;
+            for &c in l3_group {
+                if let Some(e) = l1[c].invalidate(victim.line) {
+                    l1[c].stats.back_invalidations += 1;
                     dirty_l1 |= e.dirty;
                 }
             }
             if victim.dirty || dirty_l2 || dirty_l1 {
-                self.memory_writebacks += 1;
+                *memory_writebacks += 1;
             }
         }
     }
@@ -386,29 +404,31 @@ impl Hierarchy {
         if let Some(d) = self.l2.insert(core, line, dirty, sink) {
             let victim = d.entry;
             // L1 inclusion: the victim may be cached by any core of the L2
-            // group it was evicted from.
-            let l2_group = self.l2.grouping().group_members(d.slice).to_vec();
+            // group it was evicted from. Same disjoint-field borrow as
+            // fill_l3 — the member slice is read in place.
+            let Self { l1, l2, l3, .. } = self;
+            let l2_group: &[CoreId] = l2.grouping().group_members(d.slice);
             let mut dirty_l1 = false;
-            for &c in &l2_group {
-                if let Some(e) = self.l1[c].invalidate(victim.line) {
-                    self.l1[c].stats.back_invalidations += 1;
+            for &c in l2_group {
+                if let Some(e) = l1[c].invalidate(victim.line) {
+                    l1[c].stats.back_invalidations += 1;
                     dirty_l1 |= e.dirty;
                 }
             }
             if victim.dirty || dirty_l1 {
                 // Writeback to L3 (inclusive: the line is still there).
-                self.l3.mark_dirty(victim.owner, victim.line);
+                l3.mark_dirty(victim.owner, victim.line);
             }
         }
     }
 
     fn fill_l1(&mut self, core: CoreId, line: Line, dirty: bool, stamp: u64) {
         let set = self.params.l1.set_index(line);
-        let way = self.l1[core]
-            .invalid_way(set)
-            .or_else(|| self.l1[core].lru_way(set).map(|(w, _)| w))
-            // morph-lint: allow(no-panic-in-lib, reason = "a set has ways >= 1, so it always holds an invalid way or an LRU victim; geometry validated at construction")
-            .expect("L1 set always has a victim");
+        // One fused stamp pass answers both the invalid-way and the LRU
+        // victim query (see `Slice::placement_scan`); L1 fills run on
+        // every L1 miss, so the saved tag pass is hot.
+        let (inv, lru, _) = self.l1[core].placement_scan(set);
+        let way = inv.unwrap_or(lru);
         let displaced = self.l1[core].install(
             set,
             way,
@@ -448,7 +468,7 @@ impl Hierarchy {
         }
         for s in 0..self.params.n_cores {
             let l3_members = self.l3.grouping().group_members(s);
-            for e in self.l2.slice(s).iter_entries() {
+            for e in self.l2.iter_slice_entries(s) {
                 if !self.l3.resident_in(l3_members, e.line) {
                     return Err(format!(
                         "L2 line {:#x} in slice {s} not backed by its L3 group",

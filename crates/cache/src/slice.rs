@@ -9,6 +9,7 @@
 
 use crate::events::{CacheEventSink, Level};
 use crate::group::Grouping;
+use crate::index::{CopySet, LineIndex};
 use crate::params::CacheParams;
 use crate::replacement::{ReplacementKind, TreePlru};
 use crate::stats::{LevelStats, SliceStats};
@@ -30,18 +31,29 @@ pub struct Entry {
 /// Sentinel marking an invalid way in the compact tag array.
 const NO_LINE: Line = Line::MAX;
 
-/// A physical cache slice: `sets × ways` of optional entries.
+use crate::prefetch;
+
+/// A physical cache slice: `sets × ways` of ways in struct-of-arrays
+/// layout.
 ///
-/// A compact parallel array of line addresses (`tags`) mirrors the entry
-/// array so that the hot probe path scans 8-byte tags contiguously instead
-/// of 32-byte `Option<Entry>` slots — merged groups scan up to 256 ways
-/// per lookup, which makes this the simulator's hottest loop.
+/// The hot probe path scans 8-byte line addresses (`tags`) contiguously;
+/// recency stamps, owners and dirty bits live in parallel arrays touched
+/// only by the paths that need them — merged groups scan up to 256 ways
+/// per lookup, which makes this the simulator's hottest loop, and an
+/// array-of-`Option<Entry>` layout would drag 32-byte slots (plus the
+/// discriminant branch) through the cache for every probed way. A way is
+/// valid iff its tag is not [`NO_LINE`]; invalid ways carry stamp
+/// `u64::MAX` so LRU scans skip them without a branch. [`Entry`] remains
+/// the exchange type at the API boundary (install/invalidate/iterate) and
+/// is materialized from the arrays on demand.
 #[derive(Debug, Clone)]
 pub struct Slice {
     params: CacheParams,
-    entries: Vec<Option<Entry>>,
     tags: Vec<Line>,
     stamps: Vec<u64>,
+    owners: Vec<CoreId>,
+    /// Dirty bits, one per way slot, packed 64 per word.
+    dirty: Vec<u64>,
     plru: Vec<TreePlru>,
     kind: ReplacementKind,
     /// Access statistics for this slice.
@@ -57,11 +69,13 @@ impl Slice {
                 .collect(),
             ReplacementKind::Lru => Vec::new(),
         };
+        let slots = params.sets() * params.ways();
         Self {
             params,
-            entries: vec![None; params.sets() * params.ways()],
-            tags: vec![NO_LINE; params.sets() * params.ways()],
-            stamps: vec![u64::MAX; params.sets() * params.ways()],
+            tags: vec![NO_LINE; slots],
+            stamps: vec![u64::MAX; slots],
+            owners: vec![0; slots],
+            dirty: vec![0; slots.div_ceil(64)],
             plru,
             kind,
             stats: SliceStats::default(),
@@ -78,32 +92,97 @@ impl Slice {
         set * self.params.ways()
     }
 
+    #[inline]
+    fn dirty_bit(&self, idx: usize) -> bool {
+        (self.dirty[idx >> 6] >> (idx & 63)) & 1 != 0
+    }
+
+    #[inline]
+    fn write_dirty_bit(&mut self, idx: usize, d: bool) {
+        let mask = 1u64 << (idx & 63);
+        if d {
+            self.dirty[idx >> 6] |= mask;
+        } else {
+            self.dirty[idx >> 6] &= !mask;
+        }
+    }
+
+    /// Materializes the entry at flat index `idx`, which must be valid.
+    #[inline]
+    fn entry_at(&self, idx: usize) -> Entry {
+        debug_assert_ne!(self.tags[idx], NO_LINE, "entry_at on an invalid way");
+        Entry {
+            line: self.tags[idx],
+            owner: self.owners[idx],
+            stamp: self.stamps[idx],
+            dirty: self.dirty_bit(idx),
+        }
+    }
+
+    #[inline]
+    fn clear_slot(&mut self, idx: usize) {
+        self.tags[idx] = NO_LINE;
+        self.stamps[idx] = u64::MAX;
+        self.write_dirty_bit(idx, false);
+    }
+
     /// Returns the way holding `line`, if resident.
     #[inline]
     pub fn probe(&self, line: Line) -> Option<usize> {
-        let set = self.params.set_index(line);
+        self.probe_in_set(self.params.set_index(line), line)
+    }
+
+    /// Hints the CPU to fetch the tag row of `set` ahead of a probe.
+    #[inline]
+    pub fn prefetch_tags(&self, set: usize) {
+        prefetch(&self.tags[self.base(set)]);
+    }
+
+    /// Hints the CPU to fetch the stamp row of `set` ahead of a
+    /// placement scan.
+    #[inline]
+    pub fn prefetch_stamps(&self, set: usize) {
+        prefetch(&self.stamps[self.base(set)]);
+    }
+
+    /// [`Self::probe`] with the set index precomputed by the caller.
+    ///
+    /// Group scans probe every member slice for the same line; all slices
+    /// of a level share one geometry, so the caller hoists the set-index
+    /// computation out of the member loop and passes it here.
+    #[inline]
+    pub fn probe_in_set(&self, set: usize, line: Line) -> Option<usize> {
         let base = self.base(set);
         let ways = self.params.ways();
         self.tags[base..base + ways].iter().position(|&t| t == line)
     }
 
-    /// Immutable view of an entry.
-    pub fn entry(&self, set: usize, way: usize) -> Option<&Entry> {
-        self.entries[self.base(set) + way].as_ref()
+    /// The entry at `(set, way)`, materialized from the parallel arrays.
+    pub fn entry(&self, set: usize, way: usize) -> Option<Entry> {
+        let idx = self.base(set) + way;
+        (self.tags[idx] != NO_LINE).then(|| self.entry_at(idx))
     }
 
-    /// Mutable view of an entry.
-    pub fn entry_mut(&mut self, set: usize, way: usize) -> Option<&mut Entry> {
+    /// The recency stamp at `(set, way)` (`u64::MAX` for an invalid way).
+    #[inline]
+    pub fn stamp(&self, set: usize, way: usize) -> u64 {
+        self.stamps[self.base(set) + way]
+    }
+
+    /// Marks the line at `(set, way)` dirty (no-op on an invalid way).
+    pub fn set_dirty(&mut self, set: usize, way: usize) {
         let idx = self.base(set) + way;
-        self.entries[idx].as_mut()
+        if self.tags[idx] != NO_LINE {
+            self.write_dirty_bit(idx, true);
+        }
     }
 
     /// Records a hit on `(set, way)`: refreshes the recency stamp and the
     /// PLRU tree (if in use).
+    #[inline]
     pub fn touch(&mut self, set: usize, way: usize, stamp: u64) {
         let idx = self.base(set) + way;
-        if let Some(e) = self.entries[idx].as_mut() {
-            e.stamp = stamp;
+        if self.tags[idx] != NO_LINE {
             self.stamps[idx] = stamp;
         }
         if self.kind == ReplacementKind::TreePlru {
@@ -112,18 +191,25 @@ impl Slice {
     }
 
     /// First invalid way in `set`, if any.
+    #[inline]
     pub fn invalid_way(&self, set: usize) -> Option<usize> {
         let base = self.base(set);
-        (0..self.params.ways()).find(|&w| self.entries[base + w].is_none())
+        self.tags[base..base + self.params.ways()]
+            .iter()
+            .position(|&t| t == NO_LINE)
     }
 
     /// The valid way with the smallest recency stamp in `set`, with that
-    /// stamp. `None` if the set is entirely invalid.
+    /// stamp. `None` if the set is entirely invalid (invalid ways carry
+    /// stamp `u64::MAX`, so the strict `<` scan skips them for free).
+    #[inline]
     pub fn lru_way(&self, set: usize) -> Option<(usize, u64)> {
         let base = self.base(set);
         let (mut best, mut best_stamp) = (None, u64::MAX);
-        for w in 0..self.params.ways() {
-            let st = self.stamps[base + w];
+        for (w, &st) in self.stamps[base..base + self.params.ways()]
+            .iter()
+            .enumerate()
+        {
             if st < best_stamp {
                 best_stamp = st;
                 best = Some(w);
@@ -132,13 +218,47 @@ impl Slice {
         best.map(|w| (w, best_stamp))
     }
 
+    /// One fused pass over the recency stamps of `set`, returning the
+    /// first invalid way (if any), plus the first minimum-stamp valid way
+    /// and its stamp.
+    ///
+    /// Invalid ways carry stamp `u64::MAX` (established at construction
+    /// and restored by `clear_slot`) while live stamps are monotonic from
+    /// zero, so validity is decidable from the stamp array alone: the
+    /// placement scan touches one dense array per slice instead of a tag
+    /// pass per invalid-way query plus a stamp pass for the LRU victim.
+    /// When the set holds no valid way the returned victim defaults to
+    /// way 0 with stamp `u64::MAX`; callers take the invalid way in that
+    /// case.
+    #[inline]
+    pub fn placement_scan(&self, set: usize) -> (Option<usize>, usize, u64) {
+        let base = self.base(set);
+        let mut invalid = None;
+        let (mut best, mut best_stamp) = (0usize, u64::MAX);
+        for (w, &st) in self.stamps[base..base + self.params.ways()]
+            .iter()
+            .enumerate()
+        {
+            if st == u64::MAX {
+                if invalid.is_none() {
+                    invalid = Some(w);
+                }
+            } else if st < best_stamp {
+                best_stamp = st;
+                best = w;
+            }
+        }
+        (invalid, best, best_stamp)
+    }
+
     /// The pseudo-LRU victim way for `set`.
     ///
-    /// # Panics
-    ///
-    /// Panics if this slice does not use [`ReplacementKind::TreePlru`].
+    /// Debug builds assert this slice uses [`ReplacementKind::TreePlru`];
+    /// release builds skip the check — the kind is fixed at construction
+    /// and the only caller ([`CacheLevel::insert`]) dispatches on it, so
+    /// re-checking on every replacement in the hot loop buys nothing.
     pub fn plru_victim(&self, set: usize) -> usize {
-        assert_eq!(
+        debug_assert_eq!(
             self.kind,
             ReplacementKind::TreePlru,
             "slice is not in PLRU mode"
@@ -153,29 +273,58 @@ impl Slice {
         }
         self.stats.insertions += 1;
         let idx = self.base(set) + way;
+        let displaced = (self.tags[idx] != NO_LINE).then(|| self.entry_at(idx));
         self.tags[idx] = entry.line;
         self.stamps[idx] = entry.stamp;
-        self.entries[idx].replace(entry)
+        self.owners[idx] = entry.owner;
+        self.write_dirty_bit(idx, entry.dirty);
+        displaced
     }
 
     /// Removes `line` if resident, returning the removed entry.
     pub fn invalidate(&mut self, line: Line) -> Option<Entry> {
-        let set = self.params.set_index(line);
         let way = self.probe(line)?;
+        let set = self.params.set_index(line);
+        self.invalidate_way(set, way)
+    }
+
+    /// Removes the entry at `(set, way)` if valid, returning it. Used by
+    /// the residency-index paths, which already know the way and skip the
+    /// probe.
+    #[inline]
+    pub fn invalidate_way(&mut self, set: usize, way: usize) -> Option<Entry> {
         let idx = self.base(set) + way;
-        self.tags[idx] = NO_LINE;
-        self.stamps[idx] = u64::MAX;
-        self.entries[idx].take()
+        if self.tags[idx] == NO_LINE {
+            return None;
+        }
+        let removed = self.entry_at(idx);
+        self.clear_slot(idx);
+        Some(removed)
     }
 
     /// Number of valid entries in the whole slice.
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.is_some()).count()
+        self.tags.iter().filter(|&&t| t != NO_LINE).count()
     }
 
-    /// Iterates over all valid entries.
-    pub fn iter_entries(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.iter().filter_map(|e| e.as_ref())
+    /// Iterates over all valid entries (materialized by value).
+    pub fn iter_entries(&self) -> impl Iterator<Item = Entry> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t != NO_LINE)
+            .map(|(idx, _)| self.entry_at(idx))
+    }
+
+    /// Invokes `f(set, way, line)` for every valid way. Used to rebuild
+    /// the level residency index after bulk mutations.
+    pub fn for_each_valid(&self, mut f: impl FnMut(usize, usize, Line)) {
+        let ways = self.params.ways();
+        for (idx, &t) in self.tags.iter().enumerate() {
+            if t != NO_LINE {
+                f(idx / ways, idx % ways, t);
+            }
+        }
     }
 
     /// Removes every entry for which `pred` returns true, invoking `f` on
@@ -186,13 +335,12 @@ impl Slice {
         mut pred: impl FnMut(&Entry) -> bool,
         mut f: impl FnMut(Entry),
     ) {
-        for (idx, slot) in self.entries.iter_mut().enumerate() {
-            if let Some(e) = slot {
-                if !pred(e) {
-                    self.tags[idx] = NO_LINE;
-                    self.stamps[idx] = u64::MAX;
-                    // morph-lint: allow(no-panic-in-lib, reason = "inside `if let Some(e) = slot`, so the slot is provably occupied")
-                    f(slot.take().expect("slot was Some"));
+        for idx in 0..self.tags.len() {
+            if self.tags[idx] != NO_LINE {
+                let e = self.entry_at(idx);
+                if !pred(&e) {
+                    self.clear_slot(idx);
+                    f(e);
                 }
             }
         }
@@ -200,9 +348,9 @@ impl Slice {
 
     /// Empties the slice.
     pub fn clear(&mut self) {
-        self.entries.iter_mut().for_each(|e| *e = None);
         self.tags.iter_mut().for_each(|t| *t = NO_LINE);
         self.stamps.iter_mut().for_each(|s| *s = u64::MAX);
+        self.dirty.iter_mut().for_each(|d| *d = 0);
     }
 }
 
@@ -228,14 +376,47 @@ pub struct Displaced {
 ///
 /// Core `c`'s *home slice* is slice `c` (the paper co-locates one L2 and one
 /// L3 slice with each core, Fig. 12).
+///
+/// Storage is **level-owned and set-major**: the flat slot of `(set,
+/// slice, way)` is `(set * n_slices + slice) * ways + way`, so set `i` of
+/// a merged group of adjacent slices is one contiguous run of ways. Group
+/// lookups and global-LRU placement scans — the simulator's hottest loops
+/// — then walk sequential memory the host's hardware prefetcher can
+/// stream. With one array per `Slice` (the previous layout), the same
+/// scans took one *dependent* host-cache miss per member, because member
+/// rows of the same set live hundreds of KiB apart.
 #[derive(Debug, Clone)]
 pub struct CacheLevel {
     level: Level,
-    slices: Vec<Slice>,
+    /// Per-slice geometry (all slices of a level are identical).
+    params: CacheParams,
+    n_slices: usize,
+    /// Line tags; [`NO_LINE`] marks an invalid way.
+    tags: Vec<Line>,
+    /// Recency stamps; `u64::MAX` on invalid ways (see
+    /// [`Slice::placement_scan`] for the invariant this buys).
+    stamps: Vec<u64>,
+    owners: Vec<CoreId>,
+    /// Dirty bits, one per way slot, packed 64 per word.
+    dirty: Vec<u64>,
+    /// One PLRU tree per `(slice, set)` at `slice * sets + set`; empty in
+    /// LRU mode.
+    plru: Vec<TreePlru>,
+    slice_stats: Vec<SliceStats>,
     grouping: Grouping,
     kind: ReplacementKind,
     stamp: u64,
     rr: usize,
+    /// Level-wide line → (slice, way) residency index, kept in sync with
+    /// every install/invalidate so multi-member group operations touch
+    /// only the rows that actually hold the line (one probe-chain walk)
+    /// instead of one tag row per member. Only materialized while the
+    /// grouping has at least one merged group: singleton lookups never
+    /// read it, so on an all-private level the per-fill maintenance would
+    /// be pure overhead. Also `None` when the level has more slices than
+    /// [`CopySet`] can describe. Without an index, all group operations
+    /// use the tag-scan formulation.
+    index: Option<LineIndex>,
     /// Access statistics for the level.
     pub stats: LevelStats,
 }
@@ -248,17 +429,160 @@ impl CacheLevel {
         slice_params: CacheParams,
         kind: ReplacementKind,
     ) -> Self {
+        let slots = n_slices * slice_params.sets() * slice_params.ways();
+        let plru = match kind {
+            ReplacementKind::TreePlru => (0..n_slices * slice_params.sets())
+                .map(|_| TreePlru::new(slice_params.ways()))
+                .collect(),
+            ReplacementKind::Lru => Vec::new(),
+        };
         Self {
             level,
-            slices: (0..n_slices)
-                .map(|_| Slice::new(slice_params, kind))
-                .collect(),
+            params: slice_params,
+            n_slices,
+            tags: vec![NO_LINE; slots],
+            stamps: vec![u64::MAX; slots],
+            owners: vec![0; slots],
+            dirty: vec![0; slots.div_ceil(64)],
+            plru,
+            slice_stats: vec![SliceStats::default(); n_slices],
             grouping: Grouping::private(n_slices),
             kind,
             stamp: 0,
             rr: 0,
+            // Levels start all-private; the index appears with the first
+            // merged grouping (see `set_grouping`).
+            index: None,
             stats: LevelStats::new(n_slices),
         }
+    }
+
+    /// Flat slot of way 0 of `(set, slice)`.
+    #[inline]
+    fn row(&self, set: usize, s: SliceId) -> usize {
+        (set * self.n_slices + s) * self.params.ways()
+    }
+
+    #[inline]
+    fn dirty_bit(&self, idx: usize) -> bool {
+        (self.dirty[idx >> 6] >> (idx & 63)) & 1 != 0
+    }
+
+    #[inline]
+    fn write_dirty_bit(&mut self, idx: usize, d: bool) {
+        let mask = 1u64 << (idx & 63);
+        if d {
+            self.dirty[idx >> 6] |= mask;
+        } else {
+            self.dirty[idx >> 6] &= !mask;
+        }
+    }
+
+    /// Materializes the entry at flat slot `idx`, which must be valid.
+    #[inline]
+    fn entry_at(&self, idx: usize) -> Entry {
+        debug_assert_ne!(self.tags[idx], NO_LINE, "entry_at on an invalid way");
+        Entry {
+            line: self.tags[idx],
+            owner: self.owners[idx],
+            stamp: self.stamps[idx],
+            dirty: self.dirty_bit(idx),
+        }
+    }
+
+    #[inline]
+    fn clear_slot(&mut self, idx: usize) {
+        self.tags[idx] = NO_LINE;
+        self.stamps[idx] = u64::MAX;
+        self.write_dirty_bit(idx, false);
+    }
+
+    /// Way of `(set, s)` holding `line`, if resident there.
+    #[inline]
+    fn probe_row(&self, set: usize, s: SliceId, line: Line) -> Option<usize> {
+        let base = self.row(set, s);
+        let ways = self.params.ways();
+        self.tags[base..base + ways].iter().position(|&t| t == line)
+    }
+
+    /// One fused pass over the stamps of `(set, s)` — same contract as
+    /// [`Slice::placement_scan`].
+    #[inline]
+    fn placement_scan_row(&self, set: usize, s: SliceId) -> (Option<usize>, usize, u64) {
+        let base = self.row(set, s);
+        let mut invalid = None;
+        let (mut best, mut best_stamp) = (0usize, u64::MAX);
+        for (w, &st) in self.stamps[base..base + self.params.ways()]
+            .iter()
+            .enumerate()
+        {
+            if st == u64::MAX {
+                if invalid.is_none() {
+                    invalid = Some(w);
+                }
+            } else if st < best_stamp {
+                best_stamp = st;
+                best = w;
+            }
+        }
+        (invalid, best, best_stamp)
+    }
+
+    /// First invalid way of `(set, s)`, if any.
+    #[inline]
+    fn invalid_way_row(&self, set: usize, s: SliceId) -> Option<usize> {
+        let base = self.row(set, s);
+        self.tags[base..base + self.params.ways()]
+            .iter()
+            .position(|&t| t == NO_LINE)
+    }
+
+    /// Refreshes recency (and the PLRU tree, in PLRU mode) on a hit.
+    #[inline]
+    fn touch_at(&mut self, set: usize, s: SliceId, way: usize, stamp: u64) {
+        let idx = self.row(set, s) + way;
+        if self.tags[idx] != NO_LINE {
+            self.stamps[idx] = stamp;
+        }
+        if self.kind == ReplacementKind::TreePlru {
+            let p = s * self.params.sets() + set;
+            self.plru[p].touch(way);
+        }
+    }
+
+    /// Installs `entry` at `(set, s, way)`, returning any displaced entry.
+    fn install_at(&mut self, set: usize, s: SliceId, way: usize, entry: Entry) -> Option<Entry> {
+        if self.kind == ReplacementKind::TreePlru {
+            let p = s * self.params.sets() + set;
+            self.plru[p].touch(way);
+        }
+        self.slice_stats[s].insertions += 1;
+        let idx = self.row(set, s) + way;
+        let displaced = (self.tags[idx] != NO_LINE).then(|| self.entry_at(idx));
+        self.tags[idx] = entry.line;
+        self.stamps[idx] = entry.stamp;
+        self.owners[idx] = entry.owner;
+        self.write_dirty_bit(idx, entry.dirty);
+        displaced
+    }
+
+    /// Removes the entry at `(set, s, way)` if valid, returning it.
+    #[inline]
+    fn invalidate_way_at(&mut self, set: usize, s: SliceId, way: usize) -> Option<Entry> {
+        let idx = self.row(set, s) + way;
+        if self.tags[idx] == NO_LINE {
+            return None;
+        }
+        let removed = self.entry_at(idx);
+        self.clear_slot(idx);
+        Some(removed)
+    }
+
+    /// Removes `line` from `(set, s)` if resident, returning it.
+    #[inline]
+    fn invalidate_row(&mut self, set: usize, s: SliceId, line: Line) -> Option<Entry> {
+        let way = self.probe_row(set, s, line)?;
+        self.invalidate_way_at(set, s, way)
     }
 
     /// Which hierarchy level this is.
@@ -268,12 +592,12 @@ impl CacheLevel {
 
     /// Number of slices.
     pub fn n_slices(&self) -> usize {
-        self.slices.len()
+        self.n_slices
     }
 
     /// Geometry of each (identical) slice.
     pub fn slice_params(&self) -> &CacheParams {
-        self.slices[0].params()
+        &self.params
     }
 
     /// The active grouping.
@@ -281,14 +605,51 @@ impl CacheLevel {
         &self.grouping
     }
 
-    /// Immutable access to a slice.
-    pub fn slice(&self, s: SliceId) -> &Slice {
-        &self.slices[s]
+    /// Access statistics of one slice.
+    pub fn slice_stats(&self, s: SliceId) -> &SliceStats {
+        &self.slice_stats[s]
     }
 
-    /// Mutable access to a slice.
-    pub fn slice_mut(&mut self, s: SliceId) -> &mut Slice {
-        &mut self.slices[s]
+    /// Mutable access statistics of one slice (the hierarchy attributes
+    /// reconfiguration back-invalidations here).
+    pub fn slice_stats_mut(&mut self, s: SliceId) -> &mut SliceStats {
+        &mut self.slice_stats[s]
+    }
+
+    /// Iterates the valid entries of slice `s` (materialized by value),
+    /// in `(set, way)` order.
+    pub fn iter_slice_entries(&self, s: SliceId) -> impl Iterator<Item = Entry> + '_ {
+        let ways = self.params.ways();
+        (0..self.params.sets()).flat_map(move |set| {
+            let base = self.row(set, s);
+            (0..ways)
+                .filter(move |w| self.tags[base + w] != NO_LINE)
+                .map(move |w| self.entry_at(base + w))
+        })
+    }
+
+    /// Removes every entry of slice `s` for which `pred` returns false,
+    /// invoking `f` on each removed entry in `(set, way)` order. Used for
+    /// inclusion enforcement on reconfiguration; callers must follow the
+    /// sweep with [`Self::rebuild_index`].
+    pub fn retain_slice_entries(
+        &mut self,
+        s: SliceId,
+        mut pred: impl FnMut(&Entry) -> bool,
+        mut f: impl FnMut(Entry),
+    ) {
+        for set in 0..self.params.sets() {
+            let base = self.row(set, s);
+            for idx in base..base + self.params.ways() {
+                if self.tags[idx] != NO_LINE {
+                    let e = self.entry_at(idx);
+                    if !pred(&e) {
+                        self.clear_slot(idx);
+                        f(e);
+                    }
+                }
+            }
+        }
     }
 
     /// Replaces the grouping. The caller (the [`Hierarchy`](crate::Hierarchy)) is responsible
@@ -299,20 +660,55 @@ impl CacheLevel {
     /// Returns [`ConfigError::InvalidGrouping`] if the grouping covers a
     /// different number of slices.
     pub fn set_grouping(&mut self, g: Grouping) -> Result<(), ConfigError> {
-        if g.n_slices() != self.slices.len() {
+        if g.n_slices() != self.n_slices {
             return Err(ConfigError::InvalidGrouping(format!(
                 "grouping covers {} slices, level has {}",
                 g.n_slices(),
-                self.slices.len()
+                self.n_slices
             )));
         }
+        // A grouping is a partition, so fewer groups than slices means at
+        // least one merged group — the only shape whose lookups read the
+        // residency index. Materialize it on the first merge (populated
+        // from the tag arrays, which may already hold lines mid-run) and
+        // drop it when the level goes back to all-private, so private
+        // phases pay no per-fill maintenance. Reconfiguration-rate path.
+        let merged = g.n_groups() < g.n_slices();
         self.grouping = g;
+        match (&self.index, merged) {
+            (None, true) => {
+                let lines = self.n_slices * self.params.lines();
+                self.index = LineIndex::for_level(self.n_slices, lines);
+                self.rebuild_index();
+            }
+            (Some(_), false) => self.index = None,
+            _ => {}
+        }
         Ok(())
     }
 
     fn next_stamp(&mut self) -> u64 {
         self.stamp += 1;
         self.stamp
+    }
+
+    /// Hints the CPU to fetch what a [`Self::lookup`] of `line` by `core`
+    /// will read first: the home slice's tag row for a private group, the
+    /// residency-index probe chain otherwise. Issued by the hierarchy at
+    /// access entry so the fetch overlaps the L1 probe that precedes the
+    /// group scan.
+    #[inline]
+    pub fn prefetch_lookup(&self, core: CoreId, line: Line) {
+        let members = self.grouping.group_members(core);
+        match &self.index {
+            Some(ix) if members.len() > 1 => ix.prefetch_line(line),
+            _ => {
+                let set = self.params.set_index(line);
+                for &s in members {
+                    prefetch(&self.tags[self.row(set, s)]);
+                }
+            }
+        }
     }
 
     /// Looks `line` up in the group of `core`'s home slice.
@@ -328,16 +724,63 @@ impl CacheLevel {
         line: Line,
         sink: &mut dyn CacheEventSink,
     ) -> Option<GroupHit> {
+        // All slices of a level share one geometry, so the set index can
+        // be computed once for the whole group scan.
+        let set = self.params.set_index(line);
         let members: &[SliceId] = self.grouping.group_members(core);
+        // Fast path: a private (singleton) group cannot hold duplicates,
+        // so the whole duplicate-tracking scan collapses to one probe.
+        if let &[s] = members {
+            return match self.probe_row(set, s, line) {
+                Some(way) => {
+                    let stamp = self.next_stamp();
+                    self.touch_at(set, s, way, stamp);
+                    let local = s == core;
+                    if local {
+                        self.slice_stats[s].local_hits += 1;
+                    } else {
+                        self.slice_stats[s].remote_hits += 1;
+                    }
+                    self.stats.record(core, false);
+                    sink.touched(self.level, s, core, line);
+                    Some(GroupHit { slice: s, local })
+                }
+                None => {
+                    self.stats.record(core, true);
+                    None
+                }
+            };
+        }
+        // One residency-index probe replaces the per-member tag scans:
+        // only members that actually hold the line are visited. The member
+        // loop below still walks `members` in group order, so hit events,
+        // best-copy tie-breaks, and lazy-invalidation order are identical
+        // to the scan formulation (which iterated the same list).
+        let copies: Option<CopySet> = self.index.as_ref().map(|ix| ix.copies(line));
+        if let Some(c) = &copies {
+            if c.is_empty() {
+                // No slice in the whole level holds the line, so no
+                // member does either: a guaranteed group miss.
+                self.stats.record(core, true);
+                return None;
+            }
+        }
         // Collect every member slice holding the line.
         let mut best: Option<(SliceId, usize, u64)> = None;
         let mut duplicates: [Option<SliceId>; 4] = [None; 4];
         let mut n_dup = 0usize;
         for &s in members {
-            if let Some(way) = self.slices[s].probe(line) {
-                let set = self.slices[s].params().set_index(line);
-                // morph-lint: allow(no-panic-in-lib, reason = "way was just returned by probe() for this line, so the entry exists")
-                let stamp = self.slices[s].entry(set, way).expect("probed entry").stamp;
+            let found = match &copies {
+                Some(c) => c.way_of(s),
+                None => self.probe_row(set, s, line),
+            };
+            if let Some(way) = found {
+                debug_assert_eq!(
+                    self.probe_row(set, s, line),
+                    Some(way),
+                    "residency index out of sync with slice {s}"
+                );
+                let stamp = self.stamps[self.row(set, s) + way];
                 match best {
                     None => best = Some((s, way, stamp)),
                     Some((bs, bw, bstamp)) => {
@@ -358,21 +801,23 @@ impl CacheLevel {
         }
         // Lazy-invalidate stale duplicates.
         for dup in duplicates.iter().take(n_dup).flatten() {
-            if let Some(e) = self.slices[*dup].invalidate(line) {
-                self.slices[*dup].stats.lazy_invalidations += 1;
+            if let Some(e) = self.invalidate_row(set, *dup, line) {
+                if let Some(ix) = self.index.as_mut() {
+                    ix.remove(line, *dup);
+                }
+                self.slice_stats[*dup].lazy_invalidations += 1;
                 sink.evicted(self.level, *dup, e.owner, e.line);
             }
         }
         match best {
             Some((s, way, _)) => {
                 let stamp = self.next_stamp();
-                let set = self.slices[s].params().set_index(line);
-                self.slices[s].touch(set, way, stamp);
+                self.touch_at(set, s, way, stamp);
                 let local = s == core;
                 if local {
-                    self.slices[s].stats.local_hits += 1;
+                    self.slice_stats[s].local_hits += 1;
                 } else {
-                    self.slices[s].stats.remote_hits += 1;
+                    self.slice_stats[s].remote_hits += 1;
                 }
                 self.stats.record(core, false);
                 sink.touched(self.level, s, core, line);
@@ -387,10 +832,11 @@ impl CacheLevel {
 
     /// Probes without modifying recency, statistics, or duplicates.
     pub fn peek(&self, core: CoreId, line: Line) -> Option<GroupHit> {
+        let set = self.params.set_index(line);
         self.grouping
             .group_members(core)
             .iter()
-            .find(|&&s| self.slices[s].probe(line).is_some())
+            .find(|&&s| self.probe_row(set, s, line).is_some())
             .map(|&s| GroupHit {
                 slice: s,
                 local: s == core,
@@ -399,7 +845,10 @@ impl CacheLevel {
 
     /// True if `line` is resident anywhere in the slices listed.
     pub fn resident_in(&self, slices: &[SliceId], line: Line) -> bool {
-        slices.iter().any(|&s| self.slices[s].probe(line).is_some())
+        let set = self.params.set_index(line);
+        slices
+            .iter()
+            .any(|&s| self.probe_row(set, s, line).is_some())
     }
 
     /// Inserts `line` on behalf of `core` into its group.
@@ -424,53 +873,82 @@ impl CacheLevel {
             self.peek(core, line).is_none(),
             "inserting an already-resident line"
         );
-        let set = self.slices[core].params().set_index(line);
-        // 1. Invalid way in home slice, then any member.
-        let mut target: Option<(SliceId, usize)> = None;
-        if let Some(w) = self.slices[core].invalid_way(set) {
-            target = Some((core, w));
-        } else {
-            let n_members = self.grouping.group_members(core).len();
-            for i in 0..n_members {
-                let s = self.grouping.group_members(core)[i];
-                if s == core {
-                    continue;
-                }
-                if let Some(w) = self.slices[s].invalid_way(set) {
-                    target = Some((s, w));
-                    break;
-                }
-            }
-        }
-        // 2. Replacement victim.
-        if target.is_none() {
-            target = match self.kind {
-                ReplacementKind::Lru => {
+        let set = self.params.set_index(line);
+        let members: &[SliceId] = self.grouping.group_members(core);
+        // Placement: invalid way in the home slice, then an invalid way in
+        // any member (in member order), then the replacement victim. In
+        // LRU mode one fused stamp scan per member answers both the
+        // invalid-way and the victim query, so a warm (fully valid) group
+        // costs exactly one pass over each member's stamp row instead of a
+        // failed tag pass plus a stamp pass — and member rows of one set
+        // are adjacent in the set-major layout, so the whole group scan
+        // streams through contiguous memory.
+        let (s, w) = match self.kind {
+            ReplacementKind::Lru => {
+                let (home_inv, home_way, home_stamp) = self.placement_scan_row(set, core);
+                if let Some(w) = home_inv {
+                    (core, w)
+                } else {
+                    let mut target: Option<(SliceId, usize)> = None;
                     let mut best: Option<(SliceId, usize, u64)> = None;
-                    let n_members = self.grouping.group_members(core).len();
-                    for i in 0..n_members {
-                        let s = self.grouping.group_members(core)[i];
-                        if let Some((w, st)) = self.slices[s].lru_way(set) {
-                            if best.map(|(_, _, b)| st < b).unwrap_or(true) {
-                                best = Some((s, w, st));
-                            }
+                    for &s in members {
+                        let (inv, way, stamp) = if s == core {
+                            (None, home_way, home_stamp)
+                        } else {
+                            self.placement_scan_row(set, s)
+                        };
+                        if let Some(w) = inv {
+                            target = Some((s, w));
+                            break;
+                        }
+                        if best.map(|(_, _, b)| stamp < b).unwrap_or(true) {
+                            best = Some((s, way, stamp));
                         }
                     }
-                    best.map(|(s, w, _)| (s, w))
+                    // Every member scan yields a victim (a validated
+                    // geometry has ways >= 1, and a set with no valid way
+                    // was taken as an invalid-way target above), so the
+                    // home slice's entry alone guarantees `best` is Some.
+                    target
+                        .or_else(|| best.map(|(s, w, _)| (s, w)))
+                        // morph-lint: allow(no-panic-in-lib, reason = "the home slice always contributes a placement candidate; geometry validated at construction")
+                        .expect("a set always has a victim")
                 }
-                ReplacementKind::TreePlru => {
-                    let members = self.grouping.group_members(core);
-                    let s = members[self.rr % members.len()];
-                    self.rr = self.rr.wrapping_add(1);
-                    Some((s, self.slices[s].plru_victim(set)))
+            }
+            ReplacementKind::TreePlru => {
+                let mut target: Option<(SliceId, usize)> = None;
+                if let Some(w) = self.invalid_way_row(set, core) {
+                    target = Some((core, w));
+                } else {
+                    for &s in members {
+                        if s == core {
+                            continue;
+                        }
+                        if let Some(w) = self.invalid_way_row(set, s) {
+                            target = Some((s, w));
+                            break;
+                        }
+                    }
                 }
-            };
-        }
-        // morph-lint: allow(no-panic-in-lib, reason = "every replacement arm yields Some: a validated geometry has ways >= 1, so a victim always exists")
-        let (s, w) = target.expect("a set always has a victim");
+                match target {
+                    Some(t) => t,
+                    None => {
+                        let s = members[self.rr % members.len()];
+                        self.rr = self.rr.wrapping_add(1);
+                        debug_assert_eq!(
+                            self.kind,
+                            ReplacementKind::TreePlru,
+                            "PLRU victim on a non-PLRU level"
+                        );
+                        (s, self.plru[s * self.params.sets() + set].victim())
+                    }
+                }
+            }
+        };
         let stamp = self.next_stamp();
-        let displaced = self.slices[s].install(
+        let displaced = self.install_at(
             set,
+            s,
             w,
             Entry {
                 line,
@@ -479,9 +957,15 @@ impl CacheLevel {
                 dirty,
             },
         );
+        if let Some(ix) = self.index.as_mut() {
+            if let Some(e) = &displaced {
+                ix.remove(e.line, s);
+            }
+            ix.insert(line, s, w);
+        }
         sink.inserted(self.level, s, core, line);
         if let Some(e) = displaced {
-            self.slices[s].stats.evictions += 1;
+            self.slice_stats[s].evictions += 1;
             sink.evicted(self.level, s, e.owner, e.line);
             Some(Displaced { slice: s, entry: e })
         } else {
@@ -491,13 +975,30 @@ impl CacheLevel {
 
     /// Marks `line` dirty wherever it is resident in `core`'s group.
     pub fn mark_dirty(&mut self, core: CoreId, line: Line) {
-        let n_members = self.grouping.group_members(core).len();
-        for i in 0..n_members {
-            let s = self.grouping.group_members(core)[i];
-            let set = self.slices[s].params().set_index(line);
-            if let Some(w) = self.slices[s].probe(line) {
-                if let Some(e) = self.slices[s].entry_mut(set, w) {
-                    e.dirty = true;
+        let set = self.params.set_index(line);
+        // Disjoint-field borrows: the member list stays borrowed from
+        // `grouping` across the loop while `dirty` words are written.
+        let Self {
+            grouping,
+            params,
+            n_slices,
+            tags,
+            dirty,
+            index,
+            ..
+        } = self;
+        let ways = params.ways();
+        let copies: Option<CopySet> = index.as_ref().map(|ix| ix.copies(line));
+        for &s in grouping.group_members(core) {
+            let base = (set * *n_slices + s) * ways;
+            let found = match &copies {
+                Some(c) => c.way_of(s),
+                None => tags[base..base + ways].iter().position(|&t| t == line),
+            };
+            if let Some(w) = found {
+                let idx = base + w;
+                if tags[idx] != NO_LINE {
+                    dirty[idx >> 6] |= 1u64 << (idx & 63);
                 }
             }
         }
@@ -511,10 +1012,23 @@ impl CacheLevel {
         line: Line,
         sink: &mut dyn CacheEventSink,
     ) -> bool {
+        let set = self.params.set_index(line);
+        // With the residency index, only slices that actually hold the
+        // line are touched; the scan fallback probes every listed slice
+        // (adjacent rows in the set-major layout, so the probes stream).
+        let copies: Option<CopySet> = self.index.as_ref().map(|ix| ix.copies(line));
         let mut any_dirty = false;
         for &s in slices {
-            if let Some(e) = self.slices[s].invalidate(line) {
-                self.slices[s].stats.back_invalidations += 1;
+            let removed = match &copies {
+                Some(c) => c.way_of(s).and_then(|w| self.invalidate_way_at(set, s, w)),
+                None => self.invalidate_row(set, s, line),
+            };
+            if let Some(e) = removed {
+                debug_assert_eq!(e.line, line, "residency index out of sync with slice {s}");
+                if let Some(ix) = self.index.as_mut() {
+                    ix.remove(line, s);
+                }
+                self.slice_stats[s].back_invalidations += 1;
                 any_dirty |= e.dirty;
                 sink.evicted(self.level, s, e.owner, e.line);
             }
@@ -522,17 +1036,43 @@ impl CacheLevel {
         any_dirty
     }
 
+    /// Rebuilds the residency index from the (authoritative) tag arrays.
+    ///
+    /// Must be called after any bulk out-of-band mutation — i.e. whenever
+    /// entries are removed through [`Self::retain_slice_entries`] instead
+    /// of the maintaining paths (`insert`/`lookup`/`back_invalidate`), as
+    /// the regrouping inclusion sweeps do. Reconfiguration-rate cold path.
+    pub fn rebuild_index(&mut self) {
+        let Self {
+            tags,
+            params,
+            n_slices,
+            index,
+            ..
+        } = self;
+        if let Some(ix) = index {
+            ix.clear();
+            let ways = params.ways();
+            for (idx, &t) in tags.iter().enumerate() {
+                if t != NO_LINE {
+                    let (row, way) = (idx / ways, idx % ways);
+                    ix.insert(t, row % *n_slices, way);
+                }
+            }
+        }
+    }
+
     /// Total valid entries over all slices.
     pub fn occupancy(&self) -> usize {
-        self.slices.iter().map(|s| s.occupancy()).sum()
+        self.tags.iter().filter(|&&t| t != NO_LINE).count()
     }
 
     /// Clears recency stamps' origin by resetting statistics only (stamps
     /// themselves are monotonic for the lifetime of the level).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
-        for s in &mut self.slices {
-            s.stats.reset();
+        for s in &mut self.slice_stats {
+            s.reset();
         }
     }
 }
@@ -662,7 +1202,7 @@ mod tests {
         let hit = l.lookup(0, 100, &mut sink).unwrap();
         assert!(!hit.local);
         assert_eq!(hit.slice, 1);
-        assert_eq!(l.slice(1).stats.remote_hits, 1);
+        assert_eq!(l.slice_stats(1).remote_hits, 1);
     }
 
     #[test]
@@ -677,7 +1217,7 @@ mod tests {
         let hit = l.lookup(0, 100, &mut sink).unwrap();
         // Copy in slice 1 is newer (stamp 2 > 1), so it is retained.
         assert_eq!(hit.slice, 1);
-        let lazies: u64 = (0..2).map(|s| l.slice(s).stats.lazy_invalidations).sum();
+        let lazies: u64 = (0..2).map(|s| l.slice_stats(s).lazy_invalidations).sum();
         assert_eq!(lazies, 1);
         assert_eq!(sink.evicted.len(), 1);
         assert_eq!(sink.evicted[0], (Level::L2, 0, 0, 100));
@@ -716,7 +1256,7 @@ mod tests {
         l.insert(0, 100, true, &mut sink);
         assert!(l.back_invalidate(&[0, 1], 100, &mut sink));
         assert!(!l.back_invalidate(&[0, 1], 100, &mut sink), "already gone");
-        assert_eq!(l.slice(0).stats.back_invalidations, 1);
+        assert_eq!(l.slice_stats(0).back_invalidations, 1);
     }
 
     #[test]

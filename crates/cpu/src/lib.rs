@@ -80,6 +80,8 @@ pub struct CoreProgress {
     pub instructions: u64,
     /// Cycles elapsed in the window.
     pub cycles: f64,
+    /// Memory accesses issued in the window.
+    pub accesses: u64,
 }
 
 impl CoreProgress {
@@ -100,11 +102,13 @@ pub struct Core {
     params: CoreParams,
     cycles: f64,
     instructions: u64,
+    accesses: u64,
     // Fractional instruction accumulator (instructions per access is
     // generally not an integer).
     insn_frac: f64,
     mark_cycles: f64,
     mark_instructions: u64,
+    mark_accesses: u64,
 }
 
 impl Core {
@@ -115,9 +119,11 @@ impl Core {
             params,
             cycles: 0.0,
             instructions: 0,
+            accesses: 0,
             insn_frac: 0.0,
             mark_cycles: 0.0,
             mark_instructions: 0,
+            mark_accesses: 0,
         }
     }
 
@@ -136,6 +142,11 @@ impl Core {
         self.instructions
     }
 
+    /// Total memory accesses issued.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
     /// Runs the core until its local clock reaches `target_cycles`,
     /// pulling references from `stream` and timing them against `mem`.
     pub fn run_until(
@@ -150,6 +161,7 @@ impl Core {
         let nonmem_cycles = (insn_per_access - 1.0) / self.params.issue_width;
         while self.cycles < target_cycles {
             let a = stream.next_access();
+            self.accesses += 1;
             let lat = mem.access(self.id, a.line, a.is_write, sink) as f64;
             let stall = if lat > self.params.l1_latency {
                 self.params.l1_latency + (lat - self.params.l1_latency) / self.params.mlp
@@ -170,9 +182,11 @@ impl Core {
         let p = CoreProgress {
             instructions: self.instructions - self.mark_instructions,
             cycles: self.cycles - self.mark_cycles,
+            accesses: self.accesses - self.mark_accesses,
         };
         self.mark_instructions = self.instructions;
         self.mark_cycles = self.cycles;
+        self.mark_accesses = self.accesses;
         p
     }
 }

@@ -1,0 +1,684 @@
+//! The `BENCH_<n>.json` performance-trajectory schema and the tiny JSON
+//! codec behind it.
+//!
+//! The offline bench harness (`morph-bench`) measures the simulator's raw
+//! speed — accesses/sec on the hot path, cells/sec through the parallel
+//! matrix — on a pinned workload suite and records the result as a
+//! `BENCH_<n>.json` file checked into the repository, so every PR's
+//! speedup (or regression) is *measured against the previous trajectory
+//! point*, not asserted. The schema is deliberately small and versioned:
+//!
+//! ```json
+//! {
+//!   "schema": "morph-bench/v1",
+//!   "suite": "default",
+//!   "config": { "cores": 8, "epochs": 6, "epoch_cycles": 1000000,
+//!               "seed": 12648430, "jobs": 4 },
+//!   "backends": [
+//!     { "policy": "(8:1:1)", "workload": "...", "accesses": 123456,
+//!       "wall_seconds": 1.25, "accesses_per_sec": 98765.0 }
+//!   ],
+//!   "total": { "accesses": 0, "serial_seconds": 0.0, "wall_seconds": 0.0,
+//!              "accesses_per_sec": 0.0, "cells_per_sec": 0.0,
+//!              "parallel_speedup": 1.0 },
+//!   "baseline": { "label": "pre-change", "accesses_per_sec": 0.0,
+//!                 "cells_per_sec": 0.0 }
+//! }
+//! ```
+//!
+//! `total.accesses_per_sec` divides the (deterministic) access count by
+//! the *serial* seconds — the sum of per-cell compute times — so the
+//! headline metric does not depend on how many worker threads the matrix
+//! happened to run on. `baseline` is optional (`null` for the first
+//! trajectory point) and carries the numbers the current run is compared
+//! against.
+//!
+//! The JSON codec is hand-rolled (the workspace builds offline with no
+//! external dependencies) and supports exactly the subset the schema
+//! needs: objects, arrays, strings with `\"`/`\\`/`\n`-style escapes,
+//! finite numbers, booleans and `null`. Objects keep insertion order, so
+//! emitted files are byte-stable given the same inputs.
+
+/// A parsed JSON value. Object members keep their source order (no
+/// hashing involved), so round-trips are deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member `key` of an object (`None` for other variants or a missing
+    /// key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and `\n` line ends.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => render_num(*x, out),
+            Json::Str(s) => render_str(s, out),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(members) if members.is_empty() => out.push_str("{}"),
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    push_indent(out, indent + 1);
+                    render_str(k, out);
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error (with byte
+    /// offset), or of trailing garbage after the top-level value.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(v)
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_num(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        // The schema never produces non-finite numbers; encode defensively.
+        out.push_str("null");
+    } else if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+        out.push_str(&format!("{}", x as i64));
+    } else {
+        // Shortest round-trip float formatting (Rust's default).
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn render_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let esc = b.get(*pos).copied();
+                *pos += 1;
+                match esc {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}", pos = *pos))?;
+                        *pos += 4;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(hex.encode_utf8(&mut buf).as_bytes());
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|x| x.is_finite())
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+/// The schema tag every report carries; `check` refuses anything else.
+pub const BENCH_SCHEMA: &str = "morph-bench/v1";
+
+/// One backend's row in a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBackend {
+    /// Policy display name (e.g. `"(8:1:1)"`, `"MorphCache"`).
+    pub policy: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Memory accesses simulated in the measured epochs (deterministic).
+    pub accesses: u64,
+    /// Compute seconds the cell took on its worker thread.
+    pub wall_seconds: f64,
+    /// `accesses / wall_seconds`.
+    pub accesses_per_sec: f64,
+}
+
+/// The previous trajectory point a report is measured against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchBaseline {
+    /// Where the baseline numbers came from (commit, file, description).
+    pub label: String,
+    /// The baseline's headline `total.accesses_per_sec`.
+    pub accesses_per_sec: f64,
+    /// The baseline's `total.cells_per_sec`.
+    pub cells_per_sec: f64,
+}
+
+/// A complete `BENCH_<n>.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The pinned suite that produced the numbers (`"default"`/`"smoke"`).
+    pub suite: String,
+    /// Core count of the pinned configuration.
+    pub cores: usize,
+    /// Measured epochs per cell.
+    pub epochs: usize,
+    /// Cycles per epoch.
+    pub epoch_cycles: u64,
+    /// Workload RNG seed.
+    pub seed: u64,
+    /// Worker threads the matrix ran on.
+    pub jobs: usize,
+    /// Per-backend rows, in suite order.
+    pub backends: Vec<BenchBackend>,
+    /// Wall-clock seconds for the whole matrix.
+    pub wall_seconds: f64,
+    /// Matrix cells completed per wall-clock second.
+    pub cells_per_sec: f64,
+    /// Speedup of the wall time over a serial schedule.
+    pub parallel_speedup: f64,
+    /// The previous trajectory point, if one was supplied.
+    pub baseline: Option<BenchBaseline>,
+}
+
+impl BenchReport {
+    /// Total accesses across all backends (deterministic).
+    pub fn total_accesses(&self) -> u64 {
+        self.backends.iter().map(|b| b.accesses).sum()
+    }
+
+    /// Sum of per-backend compute seconds (the serial schedule).
+    pub fn serial_seconds(&self) -> f64 {
+        self.backends.iter().map(|b| b.wall_seconds).sum()
+    }
+
+    /// The headline metric: total accesses over serial seconds, which is
+    /// independent of the worker count.
+    pub fn accesses_per_sec(&self) -> f64 {
+        let s = self.serial_seconds();
+        if s > 0.0 {
+            self.total_accesses() as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes to the versioned schema.
+    pub fn to_json(&self) -> String {
+        let backends: Vec<Json> = self
+            .backends
+            .iter()
+            .map(|b| {
+                Json::Obj(vec![
+                    ("policy".into(), Json::Str(b.policy.clone())),
+                    ("workload".into(), Json::Str(b.workload.clone())),
+                    ("accesses".into(), Json::Num(b.accesses as f64)),
+                    ("wall_seconds".into(), Json::Num(b.wall_seconds)),
+                    ("accesses_per_sec".into(), Json::Num(b.accesses_per_sec)),
+                ])
+            })
+            .collect();
+        let total = Json::Obj(vec![
+            ("accesses".into(), Json::Num(self.total_accesses() as f64)),
+            ("serial_seconds".into(), Json::Num(self.serial_seconds())),
+            ("wall_seconds".into(), Json::Num(self.wall_seconds)),
+            (
+                "accesses_per_sec".into(),
+                Json::Num(self.accesses_per_sec()),
+            ),
+            ("cells_per_sec".into(), Json::Num(self.cells_per_sec)),
+            ("parallel_speedup".into(), Json::Num(self.parallel_speedup)),
+        ]);
+        let baseline = match &self.baseline {
+            None => Json::Null,
+            Some(b) => Json::Obj(vec![
+                ("label".into(), Json::Str(b.label.clone())),
+                ("accesses_per_sec".into(), Json::Num(b.accesses_per_sec)),
+                ("cells_per_sec".into(), Json::Num(b.cells_per_sec)),
+            ]),
+        };
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+            ("suite".into(), Json::Str(self.suite.clone())),
+            (
+                "config".into(),
+                Json::Obj(vec![
+                    ("cores".into(), Json::Num(self.cores as f64)),
+                    ("epochs".into(), Json::Num(self.epochs as f64)),
+                    ("epoch_cycles".into(), Json::Num(self.epoch_cycles as f64)),
+                    ("seed".into(), Json::Num(self.seed as f64)),
+                    ("jobs".into(), Json::Num(self.jobs as f64)),
+                ]),
+            ),
+            ("backends".into(), Json::Arr(backends)),
+            ("total".into(), total),
+            ("baseline".into(), baseline),
+        ])
+        .render()
+    }
+
+    /// Parses and schema-validates a `BENCH_<n>.json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first JSON syntax error, a schema-tag
+    /// mismatch, or a missing/ill-typed required field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = Json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing `schema`")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "unsupported schema `{schema}` (want {BENCH_SCHEMA})"
+            ));
+        }
+        let cfg = v.get("config").ok_or("missing `config`")?;
+        let num = |obj: &Json, key: &str| -> Result<f64, String> {
+            obj.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric `{key}`"))
+        };
+        let int = |obj: &Json, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing or non-integer `{key}`"))
+        };
+        let backends = v
+            .get("backends")
+            .and_then(Json::as_arr)
+            .ok_or("missing `backends` array")?
+            .iter()
+            .map(|b| {
+                Ok(BenchBackend {
+                    policy: b
+                        .get("policy")
+                        .and_then(Json::as_str)
+                        .ok_or("missing backend `policy`")?
+                        .to_string(),
+                    workload: b
+                        .get("workload")
+                        .and_then(Json::as_str)
+                        .ok_or("missing backend `workload`")?
+                        .to_string(),
+                    accesses: int(b, "accesses")?,
+                    wall_seconds: num(b, "wall_seconds")?,
+                    accesses_per_sec: num(b, "accesses_per_sec")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        if backends.is_empty() {
+            return Err("`backends` must not be empty".into());
+        }
+        let total = v.get("total").ok_or("missing `total`")?;
+        let baseline = match v.get("baseline") {
+            None | Some(Json::Null) => None,
+            Some(b) => Some(BenchBaseline {
+                label: b
+                    .get("label")
+                    .and_then(Json::as_str)
+                    .ok_or("missing baseline `label`")?
+                    .to_string(),
+                accesses_per_sec: num(b, "accesses_per_sec")?,
+                cells_per_sec: num(b, "cells_per_sec")?,
+            }),
+        };
+        Ok(BenchReport {
+            suite: v
+                .get("suite")
+                .and_then(Json::as_str)
+                .ok_or("missing `suite`")?
+                .to_string(),
+            cores: int(cfg, "cores")? as usize,
+            epochs: int(cfg, "epochs")? as usize,
+            epoch_cycles: int(cfg, "epoch_cycles")?,
+            seed: int(cfg, "seed")?,
+            jobs: int(cfg, "jobs")? as usize,
+            backends,
+            wall_seconds: num(total, "wall_seconds")?,
+            cells_per_sec: num(total, "cells_per_sec")?,
+            parallel_speedup: num(total, "parallel_speedup")?,
+            baseline,
+        })
+    }
+
+    /// Compares this report against `baseline` with a relative
+    /// `tolerance` (e.g. `0.2` fails on a >20% throughput drop in either
+    /// accesses/sec or cells/sec).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the regression.
+    pub fn check_against(&self, baseline: &BenchReport, tolerance: f64) -> Result<(), String> {
+        if self.suite != baseline.suite {
+            return Err(format!(
+                "suite mismatch: report ran `{}`, baseline ran `{}`",
+                self.suite, baseline.suite
+            ));
+        }
+        let gate = |name: &str, now: f64, then: f64| -> Result<(), String> {
+            if then > 0.0 && now < then * (1.0 - tolerance) {
+                Err(format!(
+                    "{name} regressed: {now:.0} vs baseline {then:.0} \
+                     ({:.1}% of baseline, tolerance {:.0}%)",
+                    100.0 * now / then,
+                    100.0 * (1.0 - tolerance),
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        gate(
+            "accesses/sec",
+            self.accesses_per_sec(),
+            baseline.accesses_per_sec(),
+        )?;
+        gate("cells/sec", self.cells_per_sec, baseline.cells_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            suite: "smoke".into(),
+            cores: 4,
+            epochs: 3,
+            epoch_cycles: 200_000,
+            seed: 0xC0FFEE,
+            jobs: 2,
+            backends: vec![
+                BenchBackend {
+                    policy: "(4:1:1)".into(),
+                    workload: "gcc+hmmer+mcf+libq".into(),
+                    accesses: 100_000,
+                    wall_seconds: 0.5,
+                    accesses_per_sec: 200_000.0,
+                },
+                BenchBackend {
+                    policy: "MorphCache".into(),
+                    workload: "gcc+hmmer+mcf+libq".into(),
+                    accesses: 110_000,
+                    wall_seconds: 0.5,
+                    accesses_per_sec: 220_000.0,
+                },
+            ],
+            wall_seconds: 0.6,
+            cells_per_sec: 3.3,
+            parallel_speedup: 1.7,
+            baseline: Some(BenchBaseline {
+                label: "pre-change".into(),
+                accesses_per_sec: 100_000.0,
+                cells_per_sec: 2.0,
+            }),
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        // Byte-stable: rendering the parse reproduces the text.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample();
+        assert_eq!(r.total_accesses(), 210_000);
+        assert!((r.serial_seconds() - 1.0).abs() < 1e-12);
+        assert!((r.accesses_per_sec() - 210_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+        let wrong = sample().to_json().replace("morph-bench/v1", "other/v9");
+        assert!(BenchReport::from_json(&wrong)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        let no_backends = sample()
+            .to_json()
+            .replace("\"backends\": [", "\"backends_gone\": [");
+        assert!(BenchReport::from_json(&no_backends).is_err());
+    }
+
+    #[test]
+    fn regression_gate() {
+        let base = sample();
+        let mut fast = sample();
+        // 2x faster: passes any tolerance.
+        for b in &mut fast.backends {
+            b.wall_seconds /= 2.0;
+        }
+        fast.cells_per_sec *= 2.0;
+        assert!(fast.check_against(&base, 0.2).is_ok());
+        // 40% slower on the hot path: fails a 20% gate.
+        let mut slow = sample();
+        for b in &mut slow.backends {
+            b.wall_seconds /= 0.6;
+        }
+        let err = slow.check_against(&base, 0.2).unwrap_err();
+        assert!(err.contains("accesses/sec regressed"), "{err}");
+        // Suite mismatch is refused outright.
+        let mut other = sample();
+        other.suite = "default".into();
+        assert!(other.check_against(&base, 0.2).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = Json::parse(r#"{"a": [1, 2.5, "x\ny", {"b": null}], "c": true}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        let arr = v.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_f64(), Some(2.5));
+        assert_eq!(arr[2].as_str(), Some("x\ny"));
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("[1] tail").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+}

@@ -13,11 +13,13 @@
 //! * wall-clock accounting ([`MatrixTiming`]) for the parallel
 //!   experiment matrix (cells/sec, speedup over a serial schedule).
 
+pub mod bench;
 pub mod speedup;
 pub mod stats;
 pub mod table;
 pub mod timing;
 
+pub use bench::{BenchBackend, BenchBaseline, BenchReport, Json, BENCH_SCHEMA};
 pub use speedup::{fair_speedup, throughput, weighted_speedup};
 pub use stats::{geometric_mean, mean, pearson, std_dev};
 pub use table::Table;

@@ -89,6 +89,8 @@ pub(crate) fn run_epoch(
         backend.reconfig_outcome(),
     )?;
     let ipcs = epoch_ipcs(&progress);
+    let accesses = progress.iter().map(|p| p.accesses).sum();
+    let accesses_by_core: Vec<u64> = progress.iter().map(|p| p.accesses).collect();
     let misses = backend.misses_by_core();
     let report = backend.epoch_boundary(
         &mut EpochCtx {
@@ -111,6 +113,8 @@ pub(crate) fn run_epoch(
         epoch,
         ipcs,
         misses_by_core: misses,
+        accesses,
+        accesses_by_core,
         reconfig_events: report.reconfig_events,
         asymmetric_events: report.asymmetric_events,
         asymmetric: report.asymmetric,

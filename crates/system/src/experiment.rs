@@ -74,6 +74,12 @@ impl RunResult {
         asym as f64 / total as f64
     }
 
+    /// Total memory accesses issued over all measured epochs (the
+    /// numerator of the bench harness's accesses/sec metric).
+    pub fn total_accesses(&self) -> u64 {
+        self.epochs.iter().map(|e| e.accesses).sum()
+    }
+
     /// Per-core total misses over the run (QoS analysis, §5.3).
     pub fn total_misses_by_core(&self) -> Vec<u64> {
         if self.epochs.is_empty() {

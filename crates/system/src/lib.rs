@@ -20,6 +20,9 @@
 //!   protocol itself lives in a private `epoch` module);
 //! * [`probes`] — event-sink probes (engine adapter, oracle footprints,
 //!   ACFV sweeps for Fig. 5);
+//! * [`sampling`] — representative-interval sampling: simulate one
+//!   epoch per detected phase, fast-forward the rest, extrapolate
+//!   ([`sampling::run_sampled`]);
 //! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
 //!   and the [`faults::FaultInjector`] trait;
 //! * [`experiment`] — one-call runners used by the benches and examples,
@@ -52,6 +55,7 @@ pub mod experiment;
 pub mod faults;
 pub mod policy;
 pub mod probes;
+pub mod sampling;
 pub mod sim;
 pub mod workload;
 
@@ -67,6 +71,7 @@ pub mod prelude {
     };
     pub use crate::faults::{FaultInjector, FaultKind, FaultPlan, NoFaults};
     pub use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend, Policy};
+    pub use crate::sampling::{run_sampled, LevelExtrapolation, SampledRun, SamplingConfig};
     pub use crate::sim::{EpochResult, SystemSim};
     pub use crate::workload::Workload;
     pub use morph_metrics::MatrixTiming;

@@ -24,6 +24,11 @@ pub struct EpochResult {
     pub ipcs: Vec<f64>,
     /// Per-core L2+L3 misses during the epoch.
     pub misses_by_core: Vec<u64>,
+    /// Total memory accesses issued by all cores during the epoch.
+    pub accesses: u64,
+    /// Per-core memory accesses issued during the epoch (the draw counts
+    /// representative-interval sampling replays for a skipped epoch).
+    pub accesses_by_core: Vec<u64>,
     /// Reconfigurations (merges + splits) performed at the epoch boundary.
     pub reconfig_events: usize,
     /// How many of those reconfigurations left an asymmetric

@@ -1,0 +1,292 @@
+//! `morph-bench` — deterministic offline throughput harness.
+//!
+//! Runs a *pinned* workload suite (fixed workload, policies, seed,
+//! epochs) through the parallel experiment matrix and reports simulator
+//! speed: accesses/sec on the hot path and cells/sec through the matrix.
+//! The simulated work is a pure function of the suite, so the access
+//! counts are bit-reproducible; only the seconds vary with the host.
+//!
+//! ```text
+//! morph-bench run [--suite default|smoke] [--jobs N] [--out FILE]
+//!                 [--baseline FILE] [--baseline-label TEXT]
+//! morph-bench check <report.json> <baseline.json> [--tolerance 0.2]
+//! ```
+//!
+//! `run` writes a versioned `BENCH_<n>.json` document (schema
+//! `morph-bench/v1`, see `morph_metrics::bench`); `--baseline` embeds a
+//! previous report's headline numbers so the speedup is recorded *in the
+//! same file*. `check` re-parses a report (validating the schema) and
+//! fails with exit code 1 on a >tolerance regression in accesses/sec or
+//! cells/sec — the CI smoke gate.
+
+use morph_metrics::bench::{BenchBackend, BenchBaseline, BenchReport};
+use morph_system::experiment::{default_jobs, run_cells, MatrixCell};
+use morph_system::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
+        _ => {
+            eprintln!("usage: morph-bench <run|check> [options]");
+            eprintln!("  morph-bench run   [--suite default|smoke] [--jobs N] [--out FILE]");
+            eprintln!("                    [--baseline FILE] [--baseline-label TEXT]");
+            eprintln!("  morph-bench check <report.json> <baseline.json> [--tolerance 0.2]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// A pinned suite: everything that determines the simulated work.
+struct Suite {
+    name: &'static str,
+    cores: usize,
+    epochs: usize,
+    epoch_cycles: u64,
+    apps: &'static [&'static str],
+    policies: &'static [&'static str],
+}
+
+const SUITES: &[Suite] = &[
+    Suite {
+        name: "default",
+        cores: 8,
+        epochs: 6,
+        epoch_cycles: 1_000_000,
+        apps: &[
+            "cactus", "libq", "gobmk", "perl", "gcc", "hmmer", "mcf", "astar",
+        ],
+        policies: &["8:1:1", "1:1:8", "morph", "pipp", "dsr"],
+    },
+    Suite {
+        name: "smoke",
+        cores: 4,
+        epochs: 3,
+        epoch_cycles: 300_000,
+        apps: &["gcc", "hmmer", "mcf", "libq"],
+        policies: &["4:1:1", "morph", "pipp"],
+    },
+];
+
+fn suite(name: &str) -> Option<&'static Suite> {
+    SUITES.iter().find(|s| s.name == name)
+}
+
+fn policy_named(name: &str, cfg: &SystemConfig) -> Result<Policy, String> {
+    Ok(match name {
+        "morph" => Policy::morph(cfg),
+        "pipp" => Policy::Pipp,
+        "dsr" => Policy::Dsr,
+        topo => Policy::Static(SymmetricTopology::parse(topo, cfg.n_cores())?),
+    })
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut suite_name = "default".to_string();
+    let mut jobs = default_jobs();
+    let mut out: Option<String> = None;
+    let mut baseline_file: Option<String> = None;
+    let mut baseline_label: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        let r = match a.as_str() {
+            "--suite" => val("--suite").map(|v| suite_name = v),
+            "--jobs" => val("--jobs").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--jobs must be at least 1".into())
+                        } else {
+                            jobs = n;
+                            Ok(())
+                        }
+                    })
+            }),
+            "--out" => val("--out").map(|v| out = Some(v)),
+            "--baseline" => val("--baseline").map(|v| baseline_file = Some(v)),
+            "--baseline-label" => val("--baseline-label").map(|v| baseline_label = Some(v)),
+            other => Err(format!("unknown option {other}")),
+        };
+        if let Err(e) = r {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
+    let Some(s) = suite(&suite_name) else {
+        eprintln!(
+            "error: unknown suite `{suite_name}` (have: {})",
+            SUITES.iter().map(|s| s.name).collect::<Vec<_>>().join(", ")
+        );
+        return 2;
+    };
+    let baseline = match baseline_file {
+        None => None,
+        Some(path) => match std::fs::read_to_string(&path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|text| BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(prev) => Some(BenchBaseline {
+                label: baseline_label.unwrap_or(path),
+                accesses_per_sec: prev.accesses_per_sec(),
+                cells_per_sec: prev.cells_per_sec,
+            }),
+            Err(e) => {
+                eprintln!("error: --baseline {e}");
+                return 2;
+            }
+        },
+    };
+    let report = match run_suite(s, jobs, baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return 1;
+        }
+    };
+    println!("suite `{}` ({} jobs):", report.suite, report.jobs);
+    for b in &report.backends {
+        println!(
+            "  {:<14} {:>12} accesses in {:>7.3}s  ({:>12.0} acc/s)",
+            b.policy, b.accesses, b.wall_seconds, b.accesses_per_sec
+        );
+    }
+    println!(
+        "total: {} accesses, {:.3}s serial / {:.3}s wall -> {:.0} acc/s, {:.2} cells/s ({:.2}x parallel)",
+        report.total_accesses(),
+        report.serial_seconds(),
+        report.wall_seconds,
+        report.accesses_per_sec(),
+        report.cells_per_sec,
+        report.parallel_speedup,
+    );
+    if let Some(b) = &report.baseline {
+        println!(
+            "vs baseline `{}`: {:.2}x accesses/sec, {:.2}x cells/sec",
+            b.label,
+            report.accesses_per_sec() / b.accesses_per_sec,
+            report.cells_per_sec / b.cells_per_sec,
+        );
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+    }
+    0
+}
+
+fn run_suite(
+    s: &Suite,
+    jobs: usize,
+    baseline: Option<BenchBaseline>,
+) -> Result<BenchReport, MorphError> {
+    let mut cfg = SystemConfig::paper(s.cores).with_epochs(s.epochs);
+    cfg.epoch_cycles = s.epoch_cycles;
+    let workload = Workload::named_apps(s.apps).map_err(MorphError::Workload)?;
+    let cells: Vec<MatrixCell> = s
+        .policies
+        .iter()
+        .map(|name| {
+            let policy = policy_named(name, &cfg).expect("pinned suite policies are valid");
+            MatrixCell::new(workload.clone(), policy, cfg.seed)
+        })
+        .collect();
+    let matrix = run_cells(&cfg, &cells, jobs)?;
+    let backends = matrix
+        .results
+        .iter()
+        .zip(&matrix.timing.cell_seconds)
+        .map(|(r, &secs)| BenchBackend {
+            policy: r.policy_name.clone(),
+            workload: r.workload_name.clone(),
+            accesses: r.total_accesses(),
+            wall_seconds: secs,
+            accesses_per_sec: if secs > 0.0 {
+                r.total_accesses() as f64 / secs
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    Ok(BenchReport {
+        suite: s.name.to_string(),
+        cores: s.cores,
+        epochs: s.epochs,
+        epoch_cycles: s.epoch_cycles,
+        seed: cfg.seed,
+        jobs: matrix.jobs,
+        backends,
+        wall_seconds: matrix.timing.wall_seconds,
+        cells_per_sec: matrix.timing.cells_per_sec(),
+        parallel_speedup: matrix.timing.parallel_speedup(),
+        baseline,
+    })
+}
+
+fn cmd_check(args: &[String]) -> i32 {
+    let mut files: Vec<&String> = Vec::new();
+    let mut tolerance = 0.2_f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let Some(v) = it.next() else {
+                    eprintln!("error: --tolerance needs a value");
+                    return 2;
+                };
+                match v.parse::<f64>() {
+                    Ok(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                    _ => {
+                        eprintln!("error: --tolerance must be in [0, 1)");
+                        return 2;
+                    }
+                }
+            }
+            _ => files.push(a),
+        }
+    }
+    let [report_path, baseline_path] = files.as_slice() else {
+        eprintln!("usage: morph-bench check <report.json> <baseline.json> [--tolerance 0.2]");
+        return 2;
+    };
+    let load = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (report, baseline) = match (load(report_path), load(baseline_path)) {
+        (Ok(r), Ok(b)) => (r, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    match report.check_against(&baseline, tolerance) {
+        Ok(()) => {
+            println!(
+                "ok: {:.0} acc/s vs baseline {:.0} ({:.2}x), {:.2} cells/s vs {:.2} ({:.2}x), tolerance {:.0}%",
+                report.accesses_per_sec(),
+                baseline.accesses_per_sec(),
+                report.accesses_per_sec() / baseline.accesses_per_sec().max(f64::MIN_POSITIVE),
+                report.cells_per_sec,
+                baseline.cells_per_sec,
+                report.cells_per_sec / baseline.cells_per_sec.max(f64::MIN_POSITIVE),
+                tolerance * 100.0
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            1
+        }
+    }
+}

@@ -29,7 +29,7 @@ fn main() {
             eprintln!("  morph run --mix <1..12> | --parsec <name> | --apps a,b,c,...");
             eprintln!("            [--policy <x:y:z|morph|morph-qos|pipp|dsr|ideal>]");
             eprintln!("            [--epochs N] [--cycles N] [--seed N] [--cores N]");
-            eprintln!("            [--faults <spec>] [--validate-only]");
+            eprintln!("            [--faults <spec>] [--validate-only] [--sampling]");
             eprintln!("  morph compare --mix <1..12> | --parsec <name> [--epochs N] [--cycles N]");
             eprintln!("            [--jobs N]");
             eprintln!();
@@ -37,6 +37,9 @@ fn main() {
             eprintln!("      seed=42;acfv@1;drop=5000@2;pin=0@3;merge@4;split@5");
             eprintln!("  --validate-only: check configuration, policy and fault spec,");
             eprintln!("      then exit without simulating");
+            eprintln!("  --sampling: representative-interval sampling — simulate one");
+            eprintln!("      epoch per detected phase, fast-forward the rest (epochs");
+            eprintln!("      marked * in the output ran in full detail)");
             eprintln!("  --jobs N: worker threads for compare (default: host parallelism);");
             eprintln!("      results are bit-identical for any N");
             2
@@ -70,6 +73,7 @@ struct Opts {
     cores: usize,
     faults: Option<String>,
     validate_only: bool,
+    sampling: bool,
     jobs: Option<usize>,
 }
 
@@ -83,6 +87,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         cores: 16,
         faults: None,
         validate_only: false,
+        sampling: false,
         jobs: None,
     };
     let mut it = args.iter();
@@ -110,6 +115,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--cores" => o.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--faults" => o.faults = Some(val("--faults")?),
             "--validate-only" => o.validate_only = true,
+            "--sampling" => o.sampling = true,
             "--jobs" => {
                 let n: usize = val("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?;
                 if n == 0 {
@@ -204,6 +210,13 @@ fn cmd_run(args: &[String]) -> i32 {
             }
         };
     }
+    if o.sampling {
+        if plan.is_some() {
+            eprintln!("error: --sampling cannot be combined with --faults (skipped epochs bypass the injector)");
+            return 2;
+        }
+        return run_sampling(&cfg, &w, &p);
+    }
     let r = match plan {
         Some(plan) => run_workload_faulted(&cfg, &w, &p, Box::new(plan)),
         None => run_workload(&cfg, &w, &p),
@@ -232,6 +245,50 @@ fn cmd_run(args: &[String]) -> i32 {
         r.total_reconfigs(),
         r.asymmetric_fraction() * 100.0
     );
+    0
+}
+
+fn run_sampling(cfg: &SystemConfig, w: &Workload, p: &Policy) -> i32 {
+    let mut sim = match SystemSim::new(*cfg, w, p) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return 1;
+        }
+    };
+    let r = match run_sampled(&mut sim, &SamplingConfig::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            return 1;
+        }
+    };
+    println!("{} under {} (sampled):", w.name(), p.name());
+    for (e, &detailed) in r.epochs.iter().zip(&r.simulated) {
+        println!(
+            "  epoch {:>2}{} throughput {:.3}  L2 {}  L3 {}",
+            e.epoch,
+            if detailed { "*" } else { " " },
+            e.throughput(),
+            e.l2_grouping,
+            e.l3_grouping
+        );
+    }
+    println!(
+        "{} phases; {}/{} epochs simulated in detail; mean throughput {:.3}",
+        r.phases,
+        r.simulated_epochs(),
+        r.epochs.len(),
+        r.mean_throughput()
+    );
+    if let Some(x) = r.extrapolated {
+        println!(
+            "extrapolated miss rates: L1 {:.3}  L2 {:.3}  L3 {:.3}",
+            x[0].miss_rate(),
+            x[1].miss_rate(),
+            x[2].miss_rate()
+        );
+    }
     0
 }
 

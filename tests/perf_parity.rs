@@ -1,0 +1,145 @@
+//! Golden-parity tests for the hot-path data-layout overhaul: the SoA
+//! slice refactor must be *bit-identical* to the pre-refactor seed
+//! behavior. The constants below were captured from the seed build
+//! (before `Vec<Option<Entry>>` was replaced with dense parallel
+//! arrays) and pin, per epoch: the throughput bits, the total access
+//! count, the per-core miss vector, the reconfiguration count and the
+//! grouping labels — plus the engine's full event log, whose
+//! merge/split decisions are a pure function of the ACFV contents (so
+//! matching it transitively proves the ACFVs match), and the final
+//! hierarchy occupancies.
+
+use morph_system::experiment::{run_cells, MatrixCell};
+use morph_system::prelude::*;
+
+fn quad() -> Workload {
+    Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).expect("known apps")
+}
+
+/// One golden epoch: throughput bits, accesses, per-core misses,
+/// reconfiguration events, L2 grouping, L3 grouping.
+type GoldenEpoch = (u64, u64, Vec<u64>, usize, &'static str, &'static str);
+
+#[test]
+fn soa_refactor_is_bit_identical_for_morph() {
+    let cfg = SystemConfig::quick_test(4).with_epochs(3);
+    let mut sim = SystemSim::new(cfg, &quad(), &Policy::morph(&cfg)).expect("valid sim");
+    let epochs = sim.run().expect("run completes");
+
+    let golden: [GoldenEpoch; 3] = [
+        (
+            4601521613751850304,
+            53307,
+            vec![5064, 2992, 4992, 4116],
+            2,
+            "[0][1][2][3]",
+            "[0][1][2][3]",
+        ),
+        (
+            4601228350122805318,
+            51651,
+            vec![5286, 2965, 5210, 4031],
+            1,
+            "[0][1][2][3]",
+            "[0][1][2-3]",
+        ),
+        (
+            4601031889553890658,
+            50734,
+            vec![4854, 2979, 5282, 4100],
+            1,
+            "[0][1][2][3]",
+            "[0][1][2][3]",
+        ),
+    ];
+    for (e, g) in epochs.iter().zip(&golden) {
+        assert_eq!(
+            e.throughput().to_bits(),
+            g.0,
+            "epoch {} throughput",
+            e.epoch
+        );
+        assert_eq!(e.accesses, g.1, "epoch {} accesses", e.epoch);
+        assert_eq!(e.misses_by_core, g.2, "epoch {} misses", e.epoch);
+        assert_eq!(e.reconfig_events, g.3, "epoch {} events", e.epoch);
+        assert_eq!(e.l2_grouping, g.4, "epoch {} L2", e.epoch);
+        assert_eq!(e.l3_grouping, g.5, "epoch {} L3", e.epoch);
+    }
+
+    // The engine's merge/split log is a pure function of the ACFV
+    // contents observed at every boundary: identical log => identical
+    // ACFV trajectories.
+    let log: Vec<String> = sim
+        .engine()
+        .expect("morph engine")
+        .event_log()
+        .iter()
+        .map(|ev| {
+            format!(
+                "{}:{:?}:{:?}:{:?}:{}",
+                ev.epoch, ev.level, ev.kind, ev.members, ev.asymmetric_after
+            )
+        })
+        .collect();
+    assert_eq!(
+        log,
+        vec![
+            "1:L3:Merge:[0, 1]:true",
+            "1:L3:Split:[0, 1]:false",
+            "2:L3:Merge:[2, 3]:true",
+            "3:L3:Split:[2, 3]:false",
+        ]
+    );
+
+    let hier = sim.hierarchy().expect("lru hierarchy");
+    assert_eq!(hier.l2().occupancy(), 1906);
+    assert_eq!(hier.l3().occupancy(), 8192);
+    assert_eq!(hier.misses_by_core(), vec![4854, 2979, 5282, 4100]);
+}
+
+#[test]
+fn soa_refactor_is_bit_identical_for_baseline() {
+    let cfg = SystemConfig::quick_test(4).with_epochs(3);
+    let mut sim = SystemSim::new(cfg, &quad(), &Policy::baseline(4)).expect("valid sim");
+    let epochs = sim.run().expect("run completes");
+    let golden: [(u64, u64, Vec<u64>); 3] = [
+        (4601677429153074652, 54453, vec![4371, 3355, 4347, 4077]),
+        (4600826289709145094, 48868, vec![4541, 3309, 4779, 4053]),
+        (4600793158619760335, 48604, vec![4631, 3325, 5169, 4055]),
+    ];
+    for (e, g) in epochs.iter().zip(&golden) {
+        assert_eq!(
+            e.throughput().to_bits(),
+            g.0,
+            "epoch {} throughput",
+            e.epoch
+        );
+        assert_eq!(e.accesses, g.1, "epoch {} accesses", e.epoch);
+        assert_eq!(e.misses_by_core, g.2, "epoch {} misses", e.epoch);
+    }
+    let hier = sim.hierarchy().expect("lru hierarchy");
+    assert_eq!(hier.l2().occupancy(), 2048);
+    assert_eq!(hier.l3().occupancy(), 8192);
+}
+
+#[test]
+fn jobs_1_and_jobs_4_are_bit_identical_including_accesses() {
+    // EpochResult::accesses participates in PartialEq, so full-struct
+    // equality across worker counts also proves the counter is
+    // deterministic.
+    let cfg = SystemConfig::quick_test(4).with_epochs(2);
+    let w = quad();
+    let cells: Vec<MatrixCell> = [
+        Policy::baseline(4),
+        Policy::morph(&cfg),
+        Policy::Pipp,
+        Policy::Dsr,
+    ]
+    .into_iter()
+    .map(|p| MatrixCell::new(w.clone(), p, cfg.seed))
+    .collect();
+    let one = run_cells(&cfg, &cells, 1).expect("jobs=1 matrix");
+    let four = run_cells(&cfg, &cells, 4).expect("jobs=4 matrix");
+    assert_eq!(one.results, four.results);
+    assert!(one.results.iter().all(|r| r.total_accesses() > 0));
+}
