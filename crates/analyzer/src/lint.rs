@@ -10,7 +10,7 @@
 //! | `no-wallclock` | `std::time`, `Instant`, `SystemTime` | cell results must be pure functions of (config, workload, policy, seed); wall-clock belongs only in `morph-metrics::timing` |
 //! | `no-panic-in-lib` | `.unwrap(` / `.expect(` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` | library crates report failures through `MorphError`; a panic in a worker poisons the whole matrix |
 //! | `no-foreign-rng` | `rand`, `thread_rng`, `OsRng`, ... | all randomness flows through the vendored `morph-core::rng` so a seed fully determines a run |
-//! | `no-unapproved-thread-state` | `std::thread`, `std::sync`, `Mutex`, atomics, ... | shared mutable state outside the audited `experiment.rs` work queue can break the jobs=1 ≡ jobs=N guarantee |
+//! | `no-unapproved-thread-state` | `std::thread`, `std::sync`, `Mutex`, atomics, ... | shared mutable state outside the audited `experiment.rs` work queue and `supervisor.rs` monitor can break the jobs=1 ≡ jobs=N guarantee |
 //!
 //! Test code (`#[test]` functions and `#[cfg(test)]` modules) is exempt:
 //! panicking asserts and ad-hoc hash containers are idiomatic there.
@@ -87,8 +87,13 @@ fn exempt_suffixes(rule: &str) -> &'static [&'static str] {
         "no-wallclock" => &["crates/metrics/src/timing.rs"],
         // The vendored PRNG implementation itself.
         "no-foreign-rng" => &["crates/core/src/rng.rs"],
-        // The audited scoped-thread work queue of the parallel matrix.
-        "no-unapproved-thread-state" => &["crates/system/src/experiment.rs"],
+        // The audited scoped-thread work queue of the parallel matrix and
+        // the supervised-execution layer on top of it (cancel tokens,
+        // deadline monitor, shutdown flag).
+        "no-unapproved-thread-state" => &[
+            "crates/system/src/experiment.rs",
+            "crates/system/src/supervisor.rs",
+        ],
         _ => &[],
     }
 }
@@ -548,6 +553,7 @@ mod tests {
     fn thread_state_exempt_in_experiment() {
         let src = "use std::sync::atomic::AtomicUsize;\nfn f() { std::thread::scope(|_| {}); }\n";
         assert!(lint_source("crates/system/src/experiment.rs", src).is_empty());
+        assert!(lint_source("crates/system/src/supervisor.rs", src).is_empty());
         assert!(!lint_source("crates/system/src/epoch.rs", src).is_empty());
     }
 

@@ -42,7 +42,7 @@ use crate::prefetch;
 /// per lookup, which makes this the simulator's hottest loop, and an
 /// array-of-`Option<Entry>` layout would drag 32-byte slots (plus the
 /// discriminant branch) through the cache for every probed way. A way is
-/// valid iff its tag is not [`NO_LINE`]; invalid ways carry stamp
+/// valid iff its tag is not `NO_LINE`; invalid ways carry stamp
 /// `u64::MAX` so LRU scans skip them without a branch. [`Entry`] remains
 /// the exchange type at the API boundary (install/invalidate/iterate) and
 /// is materialized from the arrays on demand.

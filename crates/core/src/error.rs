@@ -74,6 +74,25 @@ pub enum MorphError {
     Workload(String),
     /// A `--faults` specification string could not be parsed.
     FaultSpec(String),
+    /// Two requested features cannot be combined.
+    FeatureConflict {
+        /// The feature being requested (e.g. `"--sampling"`).
+        a: &'static str,
+        /// The feature it conflicts with (e.g. `"--faults"`).
+        b: &'static str,
+        /// Why the combination is unsupported.
+        why: &'static str,
+    },
+    /// A run was cancelled cooperatively before it completed — the
+    /// supervisor's per-cell deadline expired or a graceful shutdown was
+    /// requested. The run's partial statistics are discarded.
+    Cancelled {
+        /// Epoch at which the cancellation was observed.
+        epoch: u64,
+    },
+    /// A checkpoint journal could not be created, read, or trusted
+    /// (mismatched manifest, corrupt cell file, I/O failure).
+    Journal(String),
     /// The forward-progress watchdog detected a no-retirement window.
     Stalled {
         /// Epoch in which the stall was detected.
@@ -102,6 +121,13 @@ impl fmt::Display for MorphError {
             MorphError::Grouping(msg) => write!(f, "invalid grouping: {msg}"),
             MorphError::Workload(msg) => write!(f, "invalid workload: {msg}"),
             MorphError::FaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            MorphError::FeatureConflict { a, b, why } => {
+                write!(f, "cannot combine {a} with {b}: {why}")
+            }
+            MorphError::Cancelled { epoch } => {
+                write!(f, "run cancelled at epoch {epoch} (deadline or shutdown)")
+            }
+            MorphError::Journal(msg) => write!(f, "journal error: {msg}"),
             MorphError::Stalled {
                 epoch,
                 core,
@@ -147,5 +173,22 @@ mod tests {
         assert!(msg.contains("epoch 3"));
         assert!(msg.contains("core 1"));
         assert!(msg.contains("[0, 16]"));
+    }
+
+    #[test]
+    fn supervision_variants_display() {
+        let c = MorphError::FeatureConflict {
+            a: "--sampling",
+            b: "--faults",
+            why: "skipped epochs bypass the fault injector",
+        };
+        assert_eq!(
+            c.to_string(),
+            "cannot combine --sampling with --faults: skipped epochs bypass the fault injector"
+        );
+        let k = MorphError::Cancelled { epoch: 5 };
+        assert!(k.to_string().contains("cancelled at epoch 5"), "{k}");
+        let j = MorphError::Journal("manifest mismatch".into());
+        assert!(j.to_string().contains("manifest mismatch"), "{j}");
     }
 }

@@ -325,6 +325,91 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
 /// The schema tag every report carries; `check` refuses anything else.
 pub const BENCH_SCHEMA: &str = "morph-bench/v1";
 
+/// Typed failures of the bench-report codec and regression gate, so
+/// `morph-bench check` can fail with a story (and an exit code) instead
+/// of a panic when a `BENCH_*.json` is malformed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BenchError {
+    /// The document is not valid JSON (first syntax error, byte offset).
+    Syntax(String),
+    /// The document carries a schema tag other than [`BENCH_SCHEMA`].
+    Schema {
+        /// The tag found in the document.
+        found: String,
+    },
+    /// A required field is missing or has the wrong type.
+    Field {
+        /// Dotted path of the offending field (e.g. `"total.cells_per_sec"`).
+        field: String,
+        /// What the schema expects there.
+        expected: &'static str,
+    },
+    /// The `backends` array is present but empty.
+    EmptyBackends,
+    /// The report has no embedded `baseline` block but the check was
+    /// asked to compare against it.
+    MissingBaseline,
+    /// Report and baseline ran different pinned suites.
+    SuiteMismatch {
+        /// Suite named by the report under check.
+        report: String,
+        /// Suite named by the baseline.
+        baseline: String,
+    },
+    /// A headline metric regressed past the tolerance.
+    Regression {
+        /// Which metric (`"accesses/sec"` or `"cells/sec"`).
+        metric: &'static str,
+        /// The report's value.
+        now: f64,
+        /// The baseline's value.
+        then: f64,
+        /// The relative tolerance the gate ran with.
+        tolerance: f64,
+    },
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Syntax(msg) => write!(f, "invalid JSON: {msg}"),
+            BenchError::Schema { found } => {
+                write!(f, "unsupported schema `{found}` (want {BENCH_SCHEMA})")
+            }
+            BenchError::Field { field, expected } => {
+                write!(
+                    f,
+                    "missing or ill-typed field `{field}` (expected {expected})"
+                )
+            }
+            BenchError::EmptyBackends => write!(f, "`backends` must not be empty"),
+            BenchError::MissingBaseline => write!(
+                f,
+                "report has no embedded `baseline` block; run with --baseline \
+                 or check against an explicit baseline file"
+            ),
+            BenchError::SuiteMismatch { report, baseline } => write!(
+                f,
+                "suite mismatch: report ran `{report}`, baseline ran `{baseline}`"
+            ),
+            BenchError::Regression {
+                metric,
+                now,
+                then,
+                tolerance,
+            } => write!(
+                f,
+                "{metric} regressed: {now:.0} vs baseline {then:.0} \
+                 ({:.1}% of baseline, tolerance {:.0}%)",
+                100.0 * now / then,
+                100.0 * (1.0 - tolerance),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
 /// One backend's row in a bench report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchBackend {
@@ -458,64 +543,68 @@ impl BenchReport {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first JSON syntax error, a schema-tag
-    /// mismatch, or a missing/ill-typed required field.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        let v = Json::parse(text)?;
+    /// Returns a typed [`BenchError`]: the first JSON syntax error, a
+    /// schema-tag mismatch, or a missing/ill-typed required field.
+    pub fn from_json(text: &str) -> Result<Self, BenchError> {
+        let v = Json::parse(text).map_err(BenchError::Syntax)?;
+        let field = |field: &str, expected: &'static str| BenchError::Field {
+            field: field.to_string(),
+            expected,
+        };
         let schema = v
             .get("schema")
             .and_then(Json::as_str)
-            .ok_or("missing `schema`")?;
+            .ok_or_else(|| field("schema", "string"))?;
         if schema != BENCH_SCHEMA {
-            return Err(format!(
-                "unsupported schema `{schema}` (want {BENCH_SCHEMA})"
-            ));
+            return Err(BenchError::Schema {
+                found: schema.to_string(),
+            });
         }
-        let cfg = v.get("config").ok_or("missing `config`")?;
-        let num = |obj: &Json, key: &str| -> Result<f64, String> {
+        let cfg = v.get("config").ok_or_else(|| field("config", "object"))?;
+        let num = |obj: &Json, key: &str| -> Result<f64, BenchError> {
             obj.get(key)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| format!("missing or non-numeric `{key}`"))
+                .ok_or_else(|| field(key, "number"))
         };
-        let int = |obj: &Json, key: &str| -> Result<u64, String> {
+        let int = |obj: &Json, key: &str| -> Result<u64, BenchError> {
             obj.get(key)
                 .and_then(Json::as_u64)
-                .ok_or_else(|| format!("missing or non-integer `{key}`"))
+                .ok_or_else(|| field(key, "non-negative integer"))
         };
         let backends = v
             .get("backends")
             .and_then(Json::as_arr)
-            .ok_or("missing `backends` array")?
+            .ok_or_else(|| field("backends", "array"))?
             .iter()
             .map(|b| {
                 Ok(BenchBackend {
                     policy: b
                         .get("policy")
                         .and_then(Json::as_str)
-                        .ok_or("missing backend `policy`")?
+                        .ok_or_else(|| field("backends[].policy", "string"))?
                         .to_string(),
                     workload: b
                         .get("workload")
                         .and_then(Json::as_str)
-                        .ok_or("missing backend `workload`")?
+                        .ok_or_else(|| field("backends[].workload", "string"))?
                         .to_string(),
                     accesses: int(b, "accesses")?,
                     wall_seconds: num(b, "wall_seconds")?,
                     accesses_per_sec: num(b, "accesses_per_sec")?,
                 })
             })
-            .collect::<Result<Vec<_>, String>>()?;
+            .collect::<Result<Vec<_>, BenchError>>()?;
         if backends.is_empty() {
-            return Err("`backends` must not be empty".into());
+            return Err(BenchError::EmptyBackends);
         }
-        let total = v.get("total").ok_or("missing `total`")?;
+        let total = v.get("total").ok_or_else(|| field("total", "object"))?;
         let baseline = match v.get("baseline") {
             None | Some(Json::Null) => None,
             Some(b) => Some(BenchBaseline {
                 label: b
                     .get("label")
                     .and_then(Json::as_str)
-                    .ok_or("missing baseline `label`")?
+                    .ok_or_else(|| field("baseline.label", "string"))?
                     .to_string(),
                 accesses_per_sec: num(b, "accesses_per_sec")?,
                 cells_per_sec: num(b, "cells_per_sec")?,
@@ -525,7 +614,7 @@ impl BenchReport {
             suite: v
                 .get("suite")
                 .and_then(Json::as_str)
-                .ok_or("missing `suite`")?
+                .ok_or_else(|| field("suite", "string"))?
                 .to_string(),
             cores: int(cfg, "cores")? as usize,
             epochs: int(cfg, "epochs")? as usize,
@@ -546,32 +635,64 @@ impl BenchReport {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the regression.
-    pub fn check_against(&self, baseline: &BenchReport, tolerance: f64) -> Result<(), String> {
+    /// Returns [`BenchError::SuiteMismatch`] or [`BenchError::Regression`].
+    pub fn check_against(&self, baseline: &BenchReport, tolerance: f64) -> Result<(), BenchError> {
         if self.suite != baseline.suite {
-            return Err(format!(
-                "suite mismatch: report ran `{}`, baseline ran `{}`",
-                self.suite, baseline.suite
-            ));
+            return Err(BenchError::SuiteMismatch {
+                report: self.suite.clone(),
+                baseline: baseline.suite.clone(),
+            });
         }
-        let gate = |name: &str, now: f64, then: f64| -> Result<(), String> {
-            if then > 0.0 && now < then * (1.0 - tolerance) {
-                Err(format!(
-                    "{name} regressed: {now:.0} vs baseline {then:.0} \
-                     ({:.1}% of baseline, tolerance {:.0}%)",
-                    100.0 * now / then,
-                    100.0 * (1.0 - tolerance),
-                ))
-            } else {
-                Ok(())
-            }
-        };
         gate(
             "accesses/sec",
             self.accesses_per_sec(),
             baseline.accesses_per_sec(),
+            tolerance,
         )?;
-        gate("cells/sec", self.cells_per_sec, baseline.cells_per_sec)
+        gate(
+            "cells/sec",
+            self.cells_per_sec,
+            baseline.cells_per_sec,
+            tolerance,
+        )
+    }
+
+    /// Compares this report against its own embedded `baseline` block
+    /// (the previous trajectory point recorded with `--baseline`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BenchError::MissingBaseline`] when the report carries no
+    /// baseline block, and [`BenchError::Regression`] on a gate failure.
+    pub fn check_embedded(&self, tolerance: f64) -> Result<&BenchBaseline, BenchError> {
+        let baseline = self.baseline.as_ref().ok_or(BenchError::MissingBaseline)?;
+        gate(
+            "accesses/sec",
+            self.accesses_per_sec(),
+            baseline.accesses_per_sec,
+            tolerance,
+        )?;
+        gate(
+            "cells/sec",
+            self.cells_per_sec,
+            baseline.cells_per_sec,
+            tolerance,
+        )?;
+        Ok(baseline)
+    }
+}
+
+/// The regression gate shared by the two check flavors.
+fn gate(metric: &'static str, now: f64, then: f64, tolerance: f64) -> Result<(), BenchError> {
+    if then > 0.0 && now < then * (1.0 - tolerance) {
+        Err(BenchError::Regression {
+            metric,
+            now,
+            then,
+            tolerance,
+        })
+    } else {
+        Ok(())
     }
 }
 
@@ -634,16 +755,36 @@ mod tests {
 
     #[test]
     fn schema_violations_are_rejected() {
-        assert!(BenchReport::from_json("{}").is_err());
-        assert!(BenchReport::from_json("not json").is_err());
+        assert_eq!(
+            BenchReport::from_json("{}").unwrap_err(),
+            BenchError::Field {
+                field: "schema".into(),
+                expected: "string",
+            }
+        );
+        assert!(matches!(
+            BenchReport::from_json("not json").unwrap_err(),
+            BenchError::Syntax(_)
+        ));
         let wrong = sample().to_json().replace("morph-bench/v1", "other/v9");
-        assert!(BenchReport::from_json(&wrong)
-            .unwrap_err()
-            .contains("unsupported schema"));
+        let err = BenchReport::from_json(&wrong).unwrap_err();
+        assert_eq!(
+            err,
+            BenchError::Schema {
+                found: "other/v9".into()
+            }
+        );
+        assert!(err.to_string().contains("unsupported schema"), "{err}");
         let no_backends = sample()
             .to_json()
             .replace("\"backends\": [", "\"backends_gone\": [");
-        assert!(BenchReport::from_json(&no_backends).is_err());
+        assert_eq!(
+            BenchReport::from_json(&no_backends).unwrap_err(),
+            BenchError::Field {
+                field: "backends".into(),
+                expected: "array",
+            }
+        );
     }
 
     #[test]
@@ -662,11 +803,51 @@ mod tests {
             b.wall_seconds /= 0.6;
         }
         let err = slow.check_against(&base, 0.2).unwrap_err();
-        assert!(err.contains("accesses/sec regressed"), "{err}");
+        assert!(
+            matches!(
+                err,
+                BenchError::Regression {
+                    metric: "accesses/sec",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.to_string().contains("accesses/sec regressed"), "{err}");
         // Suite mismatch is refused outright.
         let mut other = sample();
         other.suite = "default".into();
-        assert!(other.check_against(&base, 0.2).is_err());
+        assert!(matches!(
+            other.check_against(&base, 0.2).unwrap_err(),
+            BenchError::SuiteMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn embedded_baseline_gate() {
+        // sample() embeds a baseline far below the report: passes.
+        let r = sample();
+        let b = r.check_embedded(0.2).unwrap();
+        assert_eq!(b.label, "pre-change");
+        // A report without a baseline block fails with the typed variant.
+        let mut bare = sample();
+        bare.baseline = None;
+        assert_eq!(
+            bare.check_embedded(0.2).unwrap_err(),
+            BenchError::MissingBaseline
+        );
+        // A regression against the embedded baseline is caught.
+        let mut slow = sample();
+        if let Some(base) = slow.baseline.as_mut() {
+            base.cells_per_sec = slow.cells_per_sec * 10.0;
+        }
+        assert!(matches!(
+            slow.check_embedded(0.2).unwrap_err(),
+            BenchError::Regression {
+                metric: "cells/sec",
+                ..
+            }
+        ));
     }
 
     #[test]

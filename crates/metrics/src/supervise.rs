@@ -1,0 +1,184 @@
+//! Per-cell health accounting for supervised matrix runs.
+//!
+//! The supervisor in `morph-system` wraps every matrix cell in panic
+//! isolation, deadlines and retries; this module holds the *plain-data*
+//! side of that story — what each cell's final status was and how many
+//! retries it took — so the `ExperimentMatrix` output can report health
+//! alongside [`crate::MatrixTiming`] without the metrics crate knowing
+//! anything about simulators or error types.
+
+use std::fmt;
+
+/// The final status of one matrix cell under supervision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Completed on the first attempt.
+    Completed,
+    /// Completed after at least one failed attempt (panic, typed error,
+    /// or deadline expiry) — the retry policy saved it.
+    Recovered,
+    /// Skipped entirely: a bit-identical result was loaded from the
+    /// checkpoint journal of a previous run.
+    Cached,
+    /// Every attempt failed; the cell has no result but did not take the
+    /// rest of the matrix down with it.
+    Degraded,
+    /// A graceful shutdown was requested before the cell could finish;
+    /// resuming from the journal will run it.
+    Interrupted,
+}
+
+impl CellStatus {
+    /// Whether the cell ended with a usable result.
+    pub fn has_result(self) -> bool {
+        matches!(
+            self,
+            CellStatus::Completed | CellStatus::Recovered | CellStatus::Cached
+        )
+    }
+
+    /// Short lowercase label for CLI tables (`ok`, `recovered`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            CellStatus::Completed => "ok",
+            CellStatus::Recovered => "recovered",
+            CellStatus::Cached => "cached",
+            CellStatus::Degraded => "degraded",
+            CellStatus::Interrupted => "interrupted",
+        }
+    }
+}
+
+impl fmt::Display for CellStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-cell status and retry counters of one supervised matrix run, in
+/// cell (input) order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MatrixHealth {
+    /// Final status per cell.
+    pub statuses: Vec<CellStatus>,
+    /// Failed attempts per cell (0 for a first-try completion; a
+    /// recovered cell has at least 1).
+    pub retries: Vec<u32>,
+}
+
+impl MatrixHealth {
+    /// Health of an unsupervised (legacy) run: every cell completed on
+    /// its only attempt.
+    pub fn all_completed(n: usize) -> Self {
+        Self {
+            statuses: vec![CellStatus::Completed; n],
+            retries: vec![0; n],
+        }
+    }
+
+    /// Number of cells tracked.
+    pub fn cells(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// Whether every cell ended with a usable result.
+    pub fn is_complete(&self) -> bool {
+        self.statuses.iter().all(|s| s.has_result())
+    }
+
+    /// Whether any cell was interrupted by a shutdown request.
+    pub fn was_interrupted(&self) -> bool {
+        self.statuses.contains(&CellStatus::Interrupted)
+    }
+
+    /// Number of cells with the given status.
+    pub fn count(&self, status: CellStatus) -> usize {
+        self.statuses.iter().filter(|&&s| s == status).count()
+    }
+
+    /// Total failed attempts across the matrix.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.iter().map(|&r| u64::from(r)).sum()
+    }
+
+    /// One-line summary for run reports, e.g.
+    /// `"8 cells: 5 ok, 1 recovered, 2 cached; 3 retries"`.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        for status in [
+            CellStatus::Completed,
+            CellStatus::Recovered,
+            CellStatus::Cached,
+            CellStatus::Degraded,
+            CellStatus::Interrupted,
+        ] {
+            let n = self.count(status);
+            if n > 0 {
+                parts.push(format!("{n} {status}"));
+            }
+        }
+        if parts.is_empty() {
+            parts.push("empty".into());
+        }
+        format!(
+            "{} cells: {}; {} retries",
+            self.cells(),
+            parts.join(", "),
+            self.total_retries()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classification() {
+        assert!(CellStatus::Completed.has_result());
+        assert!(CellStatus::Recovered.has_result());
+        assert!(CellStatus::Cached.has_result());
+        assert!(!CellStatus::Degraded.has_result());
+        assert!(!CellStatus::Interrupted.has_result());
+        assert_eq!(CellStatus::Recovered.to_string(), "recovered");
+    }
+
+    #[test]
+    fn all_completed_is_healthy() {
+        let h = MatrixHealth::all_completed(3);
+        assert_eq!(h.cells(), 3);
+        assert!(h.is_complete());
+        assert!(!h.was_interrupted());
+        assert_eq!(h.total_retries(), 0);
+        assert_eq!(h.summary(), "3 cells: 3 ok; 0 retries");
+    }
+
+    #[test]
+    fn mixed_health_counts_and_summary() {
+        let h = MatrixHealth {
+            statuses: vec![
+                CellStatus::Completed,
+                CellStatus::Recovered,
+                CellStatus::Cached,
+                CellStatus::Degraded,
+                CellStatus::Interrupted,
+            ],
+            retries: vec![0, 2, 0, 3, 1],
+        };
+        assert!(!h.is_complete());
+        assert!(h.was_interrupted());
+        assert_eq!(h.count(CellStatus::Degraded), 1);
+        assert_eq!(h.total_retries(), 6);
+        assert_eq!(
+            h.summary(),
+            "5 cells: 1 ok, 1 recovered, 1 cached, 1 degraded, 1 interrupted; 6 retries"
+        );
+    }
+
+    #[test]
+    fn empty_health() {
+        let h = MatrixHealth::default();
+        assert!(h.is_complete(), "vacuously complete");
+        assert_eq!(h.summary(), "0 cells: empty; 0 retries");
+    }
+}

@@ -32,6 +32,26 @@ impl Stopwatch {
     pub fn elapsed_seconds(&self) -> f64 {
         self.started.elapsed().as_secs_f64()
     }
+
+    /// Whether at least `seconds` of wall time have elapsed since
+    /// [`Stopwatch::start`] — the supervisor's deadline predicate.
+    pub fn has_elapsed(&self, seconds: f64) -> bool {
+        self.elapsed_seconds() >= seconds
+    }
+}
+
+/// Puts the calling thread to sleep for `seconds` of wall time (no-op
+/// for non-positive or non-finite durations).
+///
+/// Like [`Stopwatch`], this is quarantined here so the rest of the
+/// workspace never names `std::time`: sleeping is used only on the
+/// *reporting/supervision* side (retry backoff, deadline polling) and
+/// can never perturb simulated state.
+pub fn sleep_seconds(seconds: f64) {
+    if seconds > 0.0 && seconds.is_finite() {
+        // morph-lint: allow(no-unapproved-thread-state, reason = "thread::sleep holds no shared state; quarantined with the wall clock")
+        std::thread::sleep(std::time::Duration::from_secs_f64(seconds));
+    }
 }
 
 /// Timing of one matrix run: how long each cell took on its worker
@@ -107,5 +127,17 @@ mod tests {
         let b = sw.elapsed_seconds();
         assert!(a >= 0.0);
         assert!(b >= a);
+    }
+
+    #[test]
+    fn sleep_and_deadline_predicate() {
+        let sw = Stopwatch::start();
+        assert!(sw.has_elapsed(0.0));
+        assert!(!sw.has_elapsed(3600.0));
+        sleep_seconds(0.001);
+        assert!(sw.has_elapsed(0.001));
+        // Degenerate durations are no-ops, not panics.
+        sleep_seconds(-1.0);
+        sleep_seconds(f64::NAN);
     }
 }

@@ -6,6 +6,7 @@
 use crate::faults::{FaultInjector, FaultedMemory};
 use crate::policy::{EpochCtx, MemoryBackend};
 use crate::sim::{EpochResult, SystemSim};
+use crate::supervisor::CancelToken;
 use morph_cache::{CacheEventSink, CoreId, Line, MemorySubsystem};
 use morph_cpu::{epoch_ipcs, take_epoch_progress, CoreProgress};
 use morph_trace::stream::AccessStream;
@@ -48,6 +49,13 @@ pub(crate) fn run_epoch(
     sim: &mut SystemSim,
     probe: &mut dyn CacheEventSink,
 ) -> Result<EpochResult, MorphError> {
+    // Cooperative cancellation: the supervisor's deadline monitor (or a
+    // graceful shutdown) sets the token; the run aborts at the next epoch
+    // boundary rather than being killed mid-epoch, so no shared state is
+    // ever left half-updated.
+    if sim.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+        return Err(MorphError::Cancelled { epoch: sim.epoch });
+    }
     let epoch = sim.epoch;
     let cycles = sim.cfg.epoch_cycles;
     let n = sim.cfg.n_cores();

@@ -11,12 +11,10 @@ use crate::config::SystemConfig;
 use crate::faults::FaultInjector;
 use crate::policy::Policy;
 use crate::sim::{EpochResult, SystemSim};
+use crate::supervisor::{CancelToken, SuperviseOptions, Supervisor};
 use crate::workload::Workload;
-use morph_metrics::timing::Stopwatch;
-use morph_metrics::MatrixTiming;
+use morph_metrics::{MatrixHealth, MatrixTiming};
 use morphcache::MorphError;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The full result of one policy × workload run.
 #[derive(Debug, Clone, PartialEq)]
@@ -133,6 +131,18 @@ pub fn run_workload_faulted(
     finish_run(&mut sim, workload, policy)
 }
 
+/// Runs one matrix cell with a cancellation token installed: the
+/// supervisor's entry point for deadline-aware cell execution.
+pub(crate) fn run_cell_cancellable(
+    cfg: &SystemConfig,
+    cell: &MatrixCell,
+    token: CancelToken,
+) -> Result<RunResult, MorphError> {
+    let mut sim =
+        SystemSim::new(cfg.with_seed(cell.seed), &cell.workload, &cell.policy)?.with_cancel(token);
+    finish_run(&mut sim, &cell.workload, &cell.policy)
+}
+
 fn finish_run(
     sim: &mut SystemSim,
     workload: &Workload,
@@ -187,6 +197,10 @@ pub struct ExperimentMatrix {
     pub timing: MatrixTiming,
     /// Worker threads the matrix ran on.
     pub jobs: usize,
+    /// Per-cell supervision status (every status has a result here — a
+    /// strict matrix only exists when all cells completed, recovered, or
+    /// were loaded from a checkpoint).
+    pub health: MatrixHealth,
 }
 
 /// The default worker count for [`run_cells`]: the host's available
@@ -206,6 +220,11 @@ pub fn default_jobs() -> usize {
 /// Workers pull cells from a shared queue, so a slow cell does not
 /// serialize the rest of its "chunk".
 ///
+/// This is the strict, no-retry entry point — a thin wrapper over
+/// [`Supervisor`] with retries disabled
+/// and no deadline; use the supervisor directly for retry, timeout,
+/// checkpoint/resume and graceful shutdown.
+///
 /// # Errors
 ///
 /// Returns the first failing cell's [`MorphError`] (in input order);
@@ -216,63 +235,13 @@ pub fn run_cells(
     cells: &[MatrixCell],
     jobs: usize,
 ) -> Result<ExperimentMatrix, MorphError> {
-    // Wall-clock reads go through the quarantined Stopwatch so timing.rs
-    // stays the workspace's single no-wallclock-exempt module; the
-    // elapsed seconds only ever feed the reporting-side MatrixTiming,
-    // never a cell's simulated state.
-    let wall = Stopwatch::start();
-    let workers = jobs.max(1).min(cells.len().max(1));
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<(Result<RunResult, MorphError>, f64)>> = Vec::new();
-    slots.resize_with(cells.len(), || None);
-    std::thread::scope(|scope| {
-        let next = &next;
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(cell) = cells.get(i) else { break };
-                        let start = Stopwatch::start();
-                        let result = catch_unwind(AssertUnwindSafe(|| {
-                            run_workload(&cfg.with_seed(cell.seed), &cell.workload, &cell.policy)
-                        }))
-                        .unwrap_or_else(|_| {
-                            Err(MorphError::Workload(format!(
-                                "experiment thread for cell {i} panicked"
-                            )))
-                        });
-                        mine.push((i, result, start.elapsed_seconds()));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        for h in handles {
-            if let Ok(mine) = h.join() {
-                for (i, result, secs) in mine {
-                    slots[i] = Some((result, secs));
-                }
-            }
-        }
-    });
-    let mut results = Vec::with_capacity(cells.len());
-    let mut cell_seconds = Vec::with_capacity(cells.len());
-    for (i, slot) in slots.into_iter().enumerate() {
-        let (result, secs) =
-            slot.ok_or_else(|| MorphError::Workload(format!("cell {i} never ran")))?;
-        results.push(result?);
-        cell_seconds.push(secs);
-    }
-    Ok(ExperimentMatrix {
-        results,
-        timing: MatrixTiming {
-            wall_seconds: wall.elapsed_seconds(),
-            cell_seconds,
-        },
-        jobs: workers,
-    })
+    let options = SuperviseOptions {
+        jobs,
+        cell_timeout_seconds: None,
+        retries: 0,
+        ..SuperviseOptions::default()
+    };
+    Supervisor::new(options).run(cfg, cells)?.into_matrix()
 }
 
 /// Runs several (workload, policy) jobs in parallel with every cell on

@@ -23,10 +23,16 @@
 //! * [`sampling`] — representative-interval sampling: simulate one
 //!   epoch per detected phase, fast-forward the rest, extrapolate
 //!   ([`sampling::run_sampled`]);
-//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`])
-//!   and the [`faults::FaultInjector`] trait;
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]),
+//!   the [`faults::FaultInjector`] trait, and the execution-level chaos
+//!   schedule ([`faults::ChaosPlan`]) for the supervised matrix;
 //! * [`experiment`] — one-call runners used by the benches and examples,
-//!   including the parallel matrix ([`experiment::run_cells`]).
+//!   including the parallel matrix ([`experiment::run_cells`]);
+//! * [`supervisor`] — supervised matrix execution: panic isolation,
+//!   per-cell deadlines, retry with deterministic backoff, graceful
+//!   shutdown ([`supervisor::Supervisor`]);
+//! * [`journal`] — the checkpoint journal supervised runs record to and
+//!   resume from ([`journal::RunJournal`]).
 //!
 //! All public driver APIs return `Result<_, MorphError>`: configuration
 //! problems surface as [`morphcache::MorphError::InvalidConfig`] before a
@@ -53,10 +59,12 @@ pub mod config;
 mod epoch;
 pub mod experiment;
 pub mod faults;
+pub mod journal;
 pub mod policy;
 pub mod probes;
 pub mod sampling;
 pub mod sim;
+pub mod supervisor;
 pub mod workload;
 
 pub use epoch::validate_and_repair;
@@ -69,11 +77,18 @@ pub mod prelude {
         alone_ipcs, default_jobs, run_cells, run_matrix, run_workload, run_workload_faulted,
         ExperimentMatrix, MatrixCell, RunResult,
     };
-    pub use crate::faults::{FaultInjector, FaultKind, FaultPlan, NoFaults};
+    pub use crate::faults::{
+        CellChaos, ChaosAction, ChaosPlan, FaultInjector, FaultKind, FaultPlan, NoFaults,
+    };
+    pub use crate::journal::RunJournal;
     pub use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend, Policy};
     pub use crate::sampling::{run_sampled, LevelExtrapolation, SampledRun, SamplingConfig};
     pub use crate::sim::{EpochResult, SystemSim};
+    pub use crate::supervisor::{
+        CancelToken, CellFailure, CellReport, ShutdownFlag, SuperviseOptions, SupervisedMatrix,
+        Supervisor,
+    };
     pub use crate::workload::Workload;
-    pub use morph_metrics::MatrixTiming;
+    pub use morph_metrics::{CellStatus, MatrixHealth, MatrixTiming};
     pub use morphcache::{MorphError, StallDiagnostic, SymmetricTopology};
 }

@@ -320,6 +320,16 @@ fn fast_forward(sim: &mut SystemSim, draws: &[u64], warmup_fraction: f64) {
 /// [`MorphError::Grouping`], ...) — skipped epochs cannot fail.
 pub fn run_sampled(sim: &mut SystemSim, scfg: &SamplingConfig) -> Result<SampledRun, MorphError> {
     scfg.validate()?;
+    if !sim.faults.is_noop() {
+        // A skipped epoch never consults the injector, so its scheduled
+        // faults would silently not fire; refuse the combination rather
+        // than deliver results that look faulted but are not.
+        return Err(MorphError::FeatureConflict {
+            a: "--sampling",
+            b: "--faults",
+            why: "skipped epochs bypass the fault injector",
+        });
+    }
     for _ in 0..sim.config().warmup_epochs {
         sim.run_epoch()?;
     }

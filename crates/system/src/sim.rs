@@ -7,6 +7,7 @@ use crate::config::SystemConfig;
 use crate::epoch;
 use crate::faults::{FaultInjector, NoFaults};
 use crate::policy::{MemoryBackend, Policy};
+use crate::supervisor::CancelToken;
 use crate::workload::Workload;
 use morph_cache::{CacheEventSink, Hierarchy, NoopSink};
 use morph_cpu::{Core, QuantumScheduler};
@@ -60,6 +61,7 @@ pub struct SystemSim {
     pub(crate) scheduler: QuantumScheduler,
     pub(crate) epoch: u64,
     pub(crate) faults: Box<dyn FaultInjector>,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl SystemSim {
@@ -104,6 +106,7 @@ impl SystemSim {
             epoch: 0,
             cfg,
             faults: Box::new(NoFaults),
+            cancel: None,
         }
     }
 
@@ -117,6 +120,16 @@ impl SystemSim {
         injector.validate(self.cfg.n_cores())?;
         self.faults = injector;
         Ok(self)
+    }
+
+    /// Installs a cooperative cancellation token (see
+    /// [`crate::supervisor`]). The epoch loop polls the token at every
+    /// epoch boundary and aborts the run with [`MorphError::Cancelled`]
+    /// once it is set — this is how the supervisor enforces per-cell
+    /// deadlines and graceful shutdown without killing threads mid-epoch.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The configuration in use.

@@ -9,7 +9,7 @@
 //! ```text
 //! morph-bench run [--suite default|smoke] [--jobs N] [--out FILE]
 //!                 [--baseline FILE] [--baseline-label TEXT]
-//! morph-bench check <report.json> <baseline.json> [--tolerance 0.2]
+//! morph-bench check <report.json> [<baseline.json>] [--tolerance 0.2]
 //! ```
 //!
 //! `run` writes a versioned `BENCH_<n>.json` document (schema
@@ -17,9 +17,11 @@
 //! previous report's headline numbers so the speedup is recorded *in the
 //! same file*. `check` re-parses a report (validating the schema) and
 //! fails with exit code 1 on a >tolerance regression in accesses/sec or
-//! cells/sec — the CI smoke gate.
+//! cells/sec — the CI smoke gate. With one file, `check` gates against
+//! the report's own embedded `baseline` block; a missing or
+//! schema-mismatched block is a typed [`BenchError`], never a panic.
 
-use morph_metrics::bench::{BenchBackend, BenchBaseline, BenchReport};
+use morph_metrics::bench::{BenchBackend, BenchBaseline, BenchError, BenchReport};
 use morph_system::experiment::{default_jobs, run_cells, MatrixCell};
 use morph_system::prelude::*;
 
@@ -32,7 +34,7 @@ fn main() {
             eprintln!("usage: morph-bench <run|check> [options]");
             eprintln!("  morph-bench run   [--suite default|smoke] [--jobs N] [--out FILE]");
             eprintln!("                    [--baseline FILE] [--baseline-label TEXT]");
-            eprintln!("  morph-bench check <report.json> <baseline.json> [--tolerance 0.2]");
+            eprintln!("  morph-bench check <report.json> [<baseline.json>] [--tolerance 0.2]");
             2
         }
     };
@@ -197,10 +199,10 @@ fn run_suite(
         .policies
         .iter()
         .map(|name| {
-            let policy = policy_named(name, &cfg).expect("pinned suite policies are valid");
-            MatrixCell::new(workload.clone(), policy, cfg.seed)
+            let policy = policy_named(name, &cfg).map_err(MorphError::Topology)?;
+            Ok(MatrixCell::new(workload.clone(), policy, cfg.seed))
         })
-        .collect();
+        .collect::<Result<_, MorphError>>()?;
     let matrix = run_cells(&cfg, &cells, jobs)?;
     let backends = matrix
         .results
@@ -255,31 +257,57 @@ fn cmd_check(args: &[String]) -> i32 {
             _ => files.push(a),
         }
     }
-    let [report_path, baseline_path] = files.as_slice() else {
-        eprintln!("usage: morph-bench check <report.json> <baseline.json> [--tolerance 0.2]");
-        return 2;
-    };
     let load = |path: &str| -> Result<BenchReport, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let (report, baseline) = match (load(report_path), load(baseline_path)) {
-        (Ok(r), Ok(b)) => (r, b),
-        (Err(e), _) | (_, Err(e)) => {
-            eprintln!("error: {e}");
-            return 1;
+    // Two files: gate report against an explicit baseline report.
+    // One file: gate against the report's own embedded `baseline` block.
+    let gated: Result<(BenchReport, f64, f64), BenchError> = match files.as_slice() {
+        [report_path, baseline_path] => {
+            let (report, baseline) = match (load(report_path), load(baseline_path)) {
+                (Ok(r), Ok(b)) => (r, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            let base = (baseline.accesses_per_sec(), baseline.cells_per_sec);
+            report
+                .check_against(&baseline, tolerance)
+                .map(|()| (report, base.0, base.1))
+        }
+        [report_path] => {
+            let report = match load(report_path) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            };
+            match report.check_embedded(tolerance) {
+                Ok(b) => {
+                    let base = (b.accesses_per_sec, b.cells_per_sec);
+                    Ok((report, base.0, base.1))
+                }
+                Err(e) => Err(e),
+            }
+        }
+        _ => {
+            eprintln!("usage: morph-bench check <report.json> [<baseline.json>] [--tolerance 0.2]");
+            return 2;
         }
     };
-    match report.check_against(&baseline, tolerance) {
-        Ok(()) => {
+    match gated {
+        Ok((report, base_acc, base_cells)) => {
             println!(
                 "ok: {:.0} acc/s vs baseline {:.0} ({:.2}x), {:.2} cells/s vs {:.2} ({:.2}x), tolerance {:.0}%",
                 report.accesses_per_sec(),
-                baseline.accesses_per_sec(),
-                report.accesses_per_sec() / baseline.accesses_per_sec().max(f64::MIN_POSITIVE),
+                base_acc,
+                report.accesses_per_sec() / base_acc.max(f64::MIN_POSITIVE),
                 report.cells_per_sec,
-                baseline.cells_per_sec,
-                report.cells_per_sec / baseline.cells_per_sec.max(f64::MIN_POSITIVE),
+                base_cells,
+                report.cells_per_sec / base_cells.max(f64::MIN_POSITIVE),
                 tolerance * 100.0
             );
             0

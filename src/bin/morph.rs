@@ -8,7 +8,10 @@
 //! morph run --mix 1 --faults "pin=0@3"         # fault-injected run
 //! morph run --mix 1 --validate-only            # check config, don't run
 //! morph compare --mix 5                        # all policies on one mix
+//! morph matrix --mix 5 --retries 2 --run-dir j # supervised matrix
 //! ```
+
+use std::path::Path;
 
 use morph_system::experiment::{
     default_jobs, run_cells, run_workload, run_workload_faulted, MatrixCell,
@@ -17,14 +20,20 @@ use morph_system::prelude::*;
 
 use morph_trace::{mixes, parsec, spec};
 
+/// The policy set `compare` and `matrix` sweep over.
+const MATRIX_POLICIES: [&str; 8] = [
+    "16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("matrix") => cmd_matrix(&args[1..]),
         _ => {
-            eprintln!("usage: morph <list|run|compare> [options]");
+            eprintln!("usage: morph <list|run|compare|matrix> [options]");
             eprintln!("  morph list");
             eprintln!("  morph run --mix <1..12> | --parsec <name> | --apps a,b,c,...");
             eprintln!("            [--policy <x:y:z|morph|morph-qos|pipp|dsr|ideal>]");
@@ -32,6 +41,10 @@ fn main() {
             eprintln!("            [--faults <spec>] [--validate-only] [--sampling]");
             eprintln!("  morph compare --mix <1..12> | --parsec <name> [--epochs N] [--cycles N]");
             eprintln!("            [--jobs N]");
+            eprintln!("  morph matrix --mix <1..12> | --parsec <name> | --apps a,b,c,...");
+            eprintln!("            [--policies p1,p2,...] [--jobs N] [--cell-timeout SECS]");
+            eprintln!("            [--retries N] [--run-dir DIR | --resume DIR]");
+            eprintln!("            [--chaos <spec>] [--chaos-verify]");
             eprintln!();
             eprintln!("  --faults spec: semicolon-separated clauses, e.g.");
             eprintln!("      seed=42;acfv@1;drop=5000@2;pin=0@3;merge@4;split@5");
@@ -40,8 +53,20 @@ fn main() {
             eprintln!("  --sampling: representative-interval sampling — simulate one");
             eprintln!("      epoch per detected phase, fast-forward the rest (epochs");
             eprintln!("      marked * in the output ran in full detail)");
-            eprintln!("  --jobs N: worker threads for compare (default: host parallelism);");
-            eprintln!("      results are bit-identical for any N");
+            eprintln!("  --jobs N: worker threads for compare/matrix (default: host");
+            eprintln!("      parallelism); results are bit-identical for any N");
+            eprintln!("  --cell-timeout SECS: deadline per cell attempt (matrix only)");
+            eprintln!("  --retries N: retry a failed cell up to N times with");
+            eprintln!("      deterministic backoff before marking it degraded (default 2)");
+            eprintln!("  --run-dir DIR: journal completed cells to DIR as they finish;");
+            eprintln!("      --resume DIR reloads them and skips bit-identical cached cells");
+            eprintln!("  --chaos spec: injected execution faults, e.g.");
+            eprintln!("      panic=0@0;stall=2:30.0@0;kill=3");
+            eprintln!("  --chaos-verify: run the chaos matrix (resuming across injected");
+            eprintln!("      kills), then check results are bit-identical to a clean run");
+            eprintln!();
+            eprintln!("  matrix exit codes: 0 all cells completed, 1 degraded cells,");
+            eprintln!("      130 interrupted (SIGINT or injected kill; resume to finish)");
             2
         }
     };
@@ -75,6 +100,12 @@ struct Opts {
     validate_only: bool,
     sampling: bool,
     jobs: Option<usize>,
+    policies: Option<Vec<String>>,
+    cell_timeout: Option<f64>,
+    retries: u32,
+    run_dir: Option<String>,
+    chaos: Option<String>,
+    chaos_verify: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -89,6 +120,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         validate_only: false,
         sampling: false,
         jobs: None,
+        policies: None,
+        cell_timeout: None,
+        retries: 2,
+        run_dir: None,
+        chaos: None,
+        chaos_verify: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -123,6 +160,31 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
                 o.jobs = Some(n);
             }
+            "--policies" => {
+                let list = val("--policies")?;
+                let names: Vec<String> = list.split(',').map(str::to_string).collect();
+                if names.iter().any(String::is_empty) {
+                    return Err("--policies: empty policy name in list".into());
+                }
+                o.policies = Some(names);
+            }
+            "--cell-timeout" => {
+                let secs: f64 = val("--cell-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--cell-timeout: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--cell-timeout must be a positive number of seconds".into());
+                }
+                o.cell_timeout = Some(secs);
+            }
+            "--retries" => {
+                o.retries = val("--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?;
+            }
+            "--run-dir" | "--resume" => o.run_dir = Some(val(a)?),
+            "--chaos" => o.chaos = Some(val("--chaos")?),
+            "--chaos-verify" => o.chaos_verify = true,
             other => return Err(format!("unknown option {other}")),
         }
     }
@@ -211,11 +273,7 @@ fn cmd_run(args: &[String]) -> i32 {
         };
     }
     if o.sampling {
-        if plan.is_some() {
-            eprintln!("error: --sampling cannot be combined with --faults (skipped epochs bypass the injector)");
-            return 2;
-        }
-        return run_sampling(&cfg, &w, &p);
+        return run_sampling(&cfg, &w, &p, plan);
     }
     let r = match plan {
         Some(plan) => run_workload_faulted(&cfg, &w, &p, Box::new(plan)),
@@ -248,8 +306,12 @@ fn cmd_run(args: &[String]) -> i32 {
     0
 }
 
-fn run_sampling(cfg: &SystemConfig, w: &Workload, p: &Policy) -> i32 {
-    let mut sim = match SystemSim::new(*cfg, w, p) {
+fn run_sampling(cfg: &SystemConfig, w: &Workload, p: &Policy, plan: Option<FaultPlan>) -> i32 {
+    let sim = SystemSim::new(*cfg, w, p).and_then(|s| match plan {
+        Some(plan) => s.with_faults(Box::new(plan)),
+        None => Ok(s),
+    });
+    let mut sim = match sim {
         Ok(sim) => sim,
         Err(e) => {
             eprintln!("run failed: {e}");
@@ -258,6 +320,13 @@ fn run_sampling(cfg: &SystemConfig, w: &Workload, p: &Policy) -> i32 {
     };
     let r = match run_sampled(&mut sim, &SamplingConfig::default()) {
         Ok(r) => r,
+        // The sampler refuses fault injection (skipped epochs would bypass
+        // the injector): surface the library's typed conflict as a usage
+        // error, not a runtime failure.
+        Err(e @ MorphError::FeatureConflict { .. }) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
         Err(e) => {
             eprintln!("run failed: {e}");
             return 1;
@@ -302,19 +371,14 @@ fn cmd_compare(args: &[String]) -> i32 {
     };
     let cfg = config(&o);
     let w = o.workload.expect("validated");
-    let names = [
-        "16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr",
-    ];
-    let cells: Vec<MatrixCell> = names
-        .iter()
-        .map(|n| {
-            MatrixCell::new(
-                w.clone(),
-                policy(n, &cfg).expect("builtin policy"),
-                cfg.seed,
-            )
-        })
-        .collect();
+    let names: Vec<String> = MATRIX_POLICIES.iter().map(|n| n.to_string()).collect();
+    let cells = match build_cells(&names, &w, &cfg) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let jobs = o.jobs.unwrap_or_else(default_jobs);
     let matrix = match run_cells(&cfg, &cells, jobs) {
         Ok(m) => m,
@@ -343,4 +407,220 @@ fn cmd_compare(args: &[String]) -> i32 {
         t.parallel_speedup()
     );
     0
+}
+
+/// One matrix cell per policy name, all on the same workload and seed.
+fn build_cells(
+    names: &[String],
+    w: &Workload,
+    cfg: &SystemConfig,
+) -> Result<Vec<MatrixCell>, String> {
+    names
+        .iter()
+        .map(|n| Ok(MatrixCell::new(w.clone(), policy(n, cfg)?, cfg.seed)))
+        .collect()
+}
+
+fn cmd_matrix(args: &[String]) -> i32 {
+    let o = match parse_opts(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let cfg = config(&o);
+    let w = o.workload.as_ref().expect("validated").clone();
+    let names: Vec<String> = o
+        .policies
+        .clone()
+        .unwrap_or_else(|| MATRIX_POLICIES.iter().map(|n| n.to_string()).collect());
+    let cells = match build_cells(&names, &w, &cfg) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    let chaos = match &o.chaos {
+        None => None,
+        Some(spec) => match ChaosPlan::parse(spec).and_then(|p| {
+            p.validate(cells.len())?;
+            Ok(p)
+        }) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+    };
+    let options = SuperviseOptions {
+        jobs: o.jobs.unwrap_or_else(default_jobs),
+        cell_timeout_seconds: o.cell_timeout,
+        retries: o.retries,
+        ..SuperviseOptions::default()
+    };
+    if o.chaos_verify {
+        return chaos_verify(&cfg, &cells, &names, chaos, &options, o.run_dir.as_deref());
+    }
+    let mut sup = Supervisor::new(options).with_shutdown(ShutdownFlag::with_sigint());
+    if let Some(dir) = &o.run_dir {
+        let journal = match RunJournal::open(Path::new(dir), &cfg, &cells) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        if journal.cached_cells() > 0 {
+            println!(
+                "resuming from {dir}: {} of {} cells cached",
+                journal.cached_cells(),
+                cells.len()
+            );
+        }
+        sup = sup.with_journal(journal);
+    }
+    if let Some(plan) = &chaos {
+        sup = sup.with_chaos(plan);
+    }
+    let m = match sup.run(&cfg, &cells) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("matrix failed: {e}");
+            return 2;
+        }
+    };
+    print_supervised(&names, &m);
+    if m.was_interrupted() {
+        if o.run_dir.is_some() {
+            eprintln!("interrupted: re-run with --resume to finish the remaining cells");
+        } else {
+            eprintln!("interrupted: partial results were not journalled (no --run-dir)");
+        }
+        130
+    } else if m.is_complete() {
+        0
+    } else {
+        1
+    }
+}
+
+fn print_supervised(names: &[String], m: &SupervisedMatrix) {
+    for (i, (report, result)) in m.reports.iter().zip(&m.results).enumerate() {
+        let throughput = match result {
+            Some(r) => format!("throughput {:.3}", r.mean_throughput()),
+            None => match report.failures.first() {
+                Some(f) => format!("no result ({f})"),
+                None => "no result".to_string(),
+            },
+        };
+        println!(
+            "  {:<12} {:<11} {}  [{:.2}s, {} retries]",
+            names.get(i).map_or("?", String::as_str),
+            report.status.label(),
+            throughput,
+            report.seconds,
+            report.retries
+        );
+    }
+    let health = m.health();
+    println!(
+        "{} in {:.2}s with {} jobs",
+        health.summary(),
+        m.timing.wall_seconds,
+        m.jobs
+    );
+}
+
+/// `--chaos-verify`: run the matrix under the chaos schedule — resuming
+/// across injected kills via a journal — and check the final results are
+/// bit-identical to an unfaulted serial run of the same cells.
+fn chaos_verify(
+    cfg: &SystemConfig,
+    cells: &[MatrixCell],
+    names: &[String],
+    chaos: Option<ChaosPlan>,
+    options: &SuperviseOptions,
+    run_dir: Option<&str>,
+) -> i32 {
+    let chaos = match chaos {
+        Some(plan) => plan,
+        None => {
+            eprintln!("error: --chaos-verify needs a --chaos spec to verify against");
+            return 2;
+        }
+    };
+    let dir = match run_dir {
+        Some(dir) => std::path::PathBuf::from(dir),
+        None => {
+            // Injected kills need a journal to resume from; give the
+            // verification run a scratch one keyed by pid.
+            std::env::temp_dir().join(format!("morph-chaos-verify-{}", std::process::id()))
+        }
+    };
+    println!(
+        "chaos-verify: golden serial run of {} cells...",
+        cells.len()
+    );
+    let golden = match run_cells(cfg, cells, 1) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("golden run failed: {e}");
+            return 1;
+        }
+    };
+    let mut rounds = 0usize;
+    let faulted = loop {
+        rounds += 1;
+        let journal = match RunJournal::open(&dir, cfg, cells) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        };
+        let sup = Supervisor::new(options.clone())
+            .with_journal(journal)
+            .with_chaos(&chaos);
+        let m = match sup.run(cfg, cells) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("matrix failed: {e}");
+                return 2;
+            }
+        };
+        print_supervised(names, &m);
+        if m.was_interrupted() {
+            println!("chaos round {rounds} interrupted; resuming from the journal...");
+            continue;
+        }
+        break m;
+    };
+    if run_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    if !faulted.is_complete() {
+        eprintln!("chaos-verify FAILED: matrix degraded after {rounds} round(s)");
+        return 1;
+    }
+    let mismatches: Vec<usize> = golden
+        .results
+        .iter()
+        .zip(&faulted.results)
+        .enumerate()
+        .filter(|(_, (g, f))| f.as_ref() != Some(g))
+        .map(|(i, _)| i)
+        .collect();
+    if mismatches.is_empty() {
+        println!(
+            "chaos-verify OK: {} cells bit-identical to the golden run after {rounds} round(s)",
+            cells.len()
+        );
+        0
+    } else {
+        eprintln!("chaos-verify FAILED: cells {mismatches:?} differ from the golden run");
+        1
+    }
 }

@@ -4,7 +4,9 @@
 //! completed run with finite degraded statistics or in a structured
 //! `MorphError` — never a panic, never a hang.
 
-use morph_system::experiment::{run_workload, run_workload_faulted};
+use std::path::PathBuf;
+
+use morph_system::experiment::{run_cells, run_workload, run_workload_faulted};
 use morph_system::prelude::*;
 
 fn cfg() -> SystemConfig {
@@ -125,4 +127,147 @@ fn clean_and_nofault_runs_agree() {
     )
     .unwrap();
     assert_eq!(clean.throughput_series(), noop.throughput_series());
+}
+
+// ---- supervised execution --------------------------------------------
+
+/// A small matrix: the same quick workload under `n` distinct seeds.
+fn small_matrix(n: usize) -> (SystemConfig, Vec<MatrixCell>) {
+    let cfg = SystemConfig::quick_test(4).with_epochs(2);
+    let w = Workload::named_apps(&["cactus", "libq", "gobmk", "perl"]).expect("known benchmarks");
+    let cells = (0..n)
+        .map(|i| MatrixCell::new(w.clone(), Policy::baseline(4), i as u64))
+        .collect();
+    (cfg, cells)
+}
+
+/// Supervision options tuned for test speed: near-instant backoff.
+fn quick_supervision(jobs: usize) -> SuperviseOptions {
+    SuperviseOptions {
+        jobs,
+        backoff_base_seconds: 0.001,
+        backoff_cap_seconds: 0.01,
+        ..SuperviseOptions::default()
+    }
+}
+
+/// A scratch journal directory unique to this test process.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("morph-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn panicking_cell_is_isolated_and_the_matrix_completes_around_it() {
+    let (cfg, cells) = small_matrix(4);
+    // Cell 2 panics on every attempt; with zero retries it degrades
+    // immediately — and every other cell still completes.
+    let chaos = ChaosPlan::new().with_panic(2, 0);
+    let options = SuperviseOptions {
+        retries: 0,
+        ..quick_supervision(2)
+    };
+    let m = Supervisor::new(options)
+        .with_chaos(&chaos)
+        .run(&cfg, &cells)
+        .unwrap();
+    assert!(!m.is_complete());
+    assert!(!m.was_interrupted());
+    let health = m.health();
+    assert_eq!(
+        health.count(CellStatus::Completed),
+        3,
+        "{}",
+        health.summary()
+    );
+    assert_eq!(
+        health.count(CellStatus::Degraded),
+        1,
+        "{}",
+        health.summary()
+    );
+    assert!(m.results[2].is_none());
+    assert!(matches!(
+        m.reports[2].failures[0],
+        CellFailure::Panicked { .. }
+    ));
+    // The strict view preserves the historical panic contract.
+    let err = m.into_matrix().unwrap_err();
+    assert_eq!(
+        err.to_string(),
+        "invalid workload: experiment thread for cell 2 panicked"
+    );
+}
+
+#[test]
+fn deadline_expiry_is_retried_to_success() {
+    let (cfg, cells) = small_matrix(2);
+    // Cell 0 stalls far past the deadline on its first attempt only; the
+    // supervisor cancels it at an epoch boundary and the retry succeeds.
+    let chaos = ChaosPlan::new().with_stall(0, 0, 30.0);
+    let options = SuperviseOptions {
+        cell_timeout_seconds: Some(2.0),
+        retries: 1,
+        ..quick_supervision(2)
+    };
+    let m = Supervisor::new(options)
+        .with_chaos(&chaos)
+        .run(&cfg, &cells)
+        .unwrap();
+    assert!(m.is_complete(), "{:?}", m.reports);
+    assert_eq!(m.reports[0].status, CellStatus::Recovered);
+    assert_eq!(m.reports[0].retries, 1);
+    assert!(matches!(
+        m.reports[0].failures[0],
+        CellFailure::DeadlineExpired { .. }
+    ));
+}
+
+#[test]
+fn interrupted_run_resumes_from_the_journal_bit_identically() {
+    let (cfg, cells) = small_matrix(4);
+    let golden = run_cells(&cfg, &cells, 1).unwrap();
+    let dir = scratch_dir("resilience-resume");
+
+    // Round 1: an injected kill after two completions interrupts the run.
+    let chaos = ChaosPlan::new().with_kill_after(2);
+    let journal = RunJournal::open(&dir, &cfg, &cells).unwrap();
+    let m = Supervisor::new(quick_supervision(1))
+        .with_journal(journal)
+        .with_chaos(&chaos)
+        .run(&cfg, &cells)
+        .unwrap();
+    assert!(m.was_interrupted());
+    assert_eq!(m.health().count(CellStatus::Completed), 2);
+
+    // Round 2: resume — completed cells come back from the journal, the
+    // rest run fresh, and the whole matrix matches the unfaulted run.
+    let journal = RunJournal::open(&dir, &cfg, &cells).unwrap();
+    assert_eq!(journal.cached_cells(), 2);
+    let m = Supervisor::new(quick_supervision(1))
+        .with_journal(journal)
+        .run(&cfg, &cells)
+        .unwrap();
+    assert!(m.is_complete());
+    assert_eq!(m.health().count(CellStatus::Cached), 2);
+    let resumed: Vec<RunResult> = m.results.into_iter().map(Option::unwrap).collect();
+    assert_eq!(resumed, golden.results, "resume must be bit-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sampling_with_faults_is_a_typed_conflict_with_a_pinned_message() {
+    let cfg = cfg();
+    let w = workload();
+    let plan = FaultPlan::parse("seed=9;acfv@1").unwrap();
+    let mut sim = SystemSim::new(cfg, &w, &Policy::morph(&cfg))
+        .and_then(|s| s.with_faults(Box::new(plan)))
+        .unwrap();
+    let err = run_sampled(&mut sim, &SamplingConfig::default()).unwrap_err();
+    assert!(matches!(err, MorphError::FeatureConflict { .. }));
+    assert_eq!(
+        err.to_string(),
+        "cannot combine --sampling with --faults: skipped epochs bypass the fault injector"
+    );
 }
