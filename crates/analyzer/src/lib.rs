@@ -6,17 +6,21 @@
 //! * [`lint`] — source-level determinism/robustness lints over all
 //!   library crates ([`lexer`] provides the hand-rolled token stream;
 //!   no `syn`, no external dependencies, the workspace builds offline).
-//! * [`lattice`] — an exhaustive model check of the merge/split
-//!   reconfiguration lattice: every reachable `(L2, L3)` topology state
-//!   is enumerated and proved to be a valid buddy partition, preserve
-//!   inclusion capacity, keep the arbitration graph a spanning tree,
-//!   and remain reversible back to the all-private base.
+//! * [`lattice`] — a model check of the merge/split reconfiguration
+//!   lattice: every reachable `(L2, L3)` topology state is proved to be
+//!   a valid buddy partition, preserve inclusion capacity, keep the
+//!   arbitration graph a spanning tree, and remain reversible back to
+//!   the all-private base. Up to 16 slices the check is an exhaustive
+//!   enumeration ([`lattice::Lattice`]); at 64–1024 slices the
+//!   symmetry-reduced [`lattice::ReducedLattice`] enumerates canonical
+//!   forms at the 16-slice base (cross-checked against the full
+//!   enumeration) and verifies the larger geometry compositionally.
 //!
 //! The `morph-lint` binary exposes both:
 //!
 //! ```text
-//! morph-lint lint [--json] [--root PATH]   # exit 1 on findings
-//! morph-lint lattice [--json] [--cores N]  # exit 1 on violations
+//! morph-lint lint [--json] [--root PATH]     # exit 1 on findings
+//! morph-lint lattice [--json] [--slices N]   # exit 1 on violations
 //! ```
 //!
 //! [`json`] is the minimal writer/parser behind `--json`.
@@ -26,5 +30,5 @@ pub mod lattice;
 pub mod lexer;
 pub mod lint;
 
-pub use lattice::{Lattice, LatticeReport};
+pub use lattice::{Lattice, LatticeReport, ReducedLattice, ReducedReport};
 pub use lint::{lint_source, lint_tree, Finding};

@@ -8,7 +8,7 @@
 //! Exit status: 0 clean, 1 findings/violations, 2 usage or I/O error.
 
 use morph_analyzer::json::{escape, findings_to_json};
-use morph_analyzer::lattice::Lattice;
+use morph_analyzer::lattice::{Lattice, LatticeReport, ReducedLattice, ReducedReport};
 use morph_analyzer::lint::lint_tree;
 
 fn main() {
@@ -43,11 +43,16 @@ USAGE:
         same or previous line. PATH defaults to the enclosing workspace
         root.
 
-    morph-lint lattice [--json] [--cores N]
-        Exhaustively enumerate the reachable (L2, L3) topology lattice
-        from the merge/split rules and prove: valid buddy partitions,
-        inclusion capacity, spanning-tree arbitration, reversibility.
-        N defaults to 16 (the paper's CMP).
+    morph-lint lattice [--json] [--slices N] (alias: --cores N)
+        Verify the reachable (L2, L3) topology lattice from the
+        merge/split rules: valid buddy partitions, inclusion capacity,
+        spanning-tree arbitration, reversibility. N defaults to 16 (the
+        paper's CMP). Up to 16 slices the full enumeration and the
+        symmetry-reduced canonical-form check both run and are
+        cross-checked against each other; above 16 (64, 256, 1024) the
+        symmetry-reduced check runs alone: exhaustive canonical BFS at
+        the 16-slice base plus seam-decomposition, die-embedding and
+        arbiter/bus acceptance checks at every doubling size.
 
 Exit status: 0 clean, 1 findings or violations, 2 usage/I/O error.
 ";
@@ -86,82 +91,193 @@ fn run_lint(args: &[String]) -> Result<i32, String> {
 
 fn run_lattice(args: &[String]) -> Result<i32, String> {
     let mut json = false;
-    let mut cores = 16usize;
+    let mut slices = 16usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => json = true,
-            "--cores" => {
-                let v = it.next().ok_or("--cores requires a number")?;
-                cores = v
+            "--slices" | "--cores" => {
+                let v = it.next().ok_or("--slices requires a number")?;
+                slices = v
                     .parse()
-                    .map_err(|e| format!("bad --cores value {v:?}: {e}"))?;
+                    .map_err(|e| format!("bad {arg} value {v:?}: {e}"))?;
             }
             other => return Err(format!("unknown lattice option {other:?}")),
         }
     }
-    let report = Lattice::new(cores)?.check();
-    if json {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"cores\": {},\n", report.cores));
-        out.push_str(&format!(
-            "  \"reachable_states\": {},\n",
-            report.reachable_states
-        ));
-        out.push_str(&format!(
-            "  \"predicted_states\": {},\n",
-            report.predicted_states
-        ));
-        out.push_str(&format!("  \"l3_partitions\": {},\n", report.l3_partitions));
-        out.push_str(&format!(
-            "  \"predicted_l3_partitions\": {},\n",
-            report.predicted_l3_partitions
-        ));
-        out.push_str(&format!("  \"transitions\": {},\n", report.transitions));
-        out.push_str(&format!("  \"forced_covers\": {},\n", report.forced_covers));
-        out.push_str(&format!("  \"holds\": {},\n", report.holds()));
-        out.push_str("  \"violations\": [");
-        for (i, v) in report.violations.iter().enumerate() {
-            if i > 0 {
-                out.push_str(", ");
-            }
-            out.push_str(&escape(&v.to_string()));
-        }
-        out.push_str("]\n}");
-        println!("{out}");
+    // Up to 16 slices both checks run and must agree exactly; above 16
+    // the full enumeration is combinatorially impossible and the
+    // symmetry-reduced check stands alone.
+    let full = if slices <= 16 {
+        Some(Lattice::new(slices)?.check())
     } else {
-        println!("topology lattice over {} slices:", report.cores);
+        None
+    };
+    let reduced = ReducedLattice::new(slices)?.check();
+    let cross_ok = full.as_ref().is_none_or(|f| {
+        f.holds()
+            && reduced.expanded_states == f.reachable_states
+            && reduced.expanded_l3_partitions == f.l3_partitions
+    });
+    let ok = reduced.holds() && cross_ok;
+    if json {
+        println!("{}", lattice_json(slices, full.as_ref(), &reduced, ok));
+    } else {
+        print_lattice(slices, full.as_ref(), &reduced, cross_ok, ok);
+    }
+    Ok(i32::from(!ok))
+}
+
+fn lattice_json(
+    slices: usize,
+    full: Option<&LatticeReport>,
+    reduced: &ReducedReport,
+    ok: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"slices\": {slices},\n"));
+    match full {
+        Some(f) => {
+            out.push_str("  \"full\": {\n");
+            out.push_str(&format!(
+                "    \"reachable_states\": {},\n",
+                f.reachable_states
+            ));
+            out.push_str(&format!(
+                "    \"predicted_states\": {},\n",
+                f.predicted_states
+            ));
+            out.push_str(&format!("    \"l3_partitions\": {},\n", f.l3_partitions));
+            out.push_str(&format!(
+                "    \"predicted_l3_partitions\": {},\n",
+                f.predicted_l3_partitions
+            ));
+            out.push_str(&format!("    \"transitions\": {},\n", f.transitions));
+            out.push_str(&format!("    \"forced_covers\": {},\n", f.forced_covers));
+            out.push_str(&format!("    \"holds\": {}\n  }},\n", f.holds()));
+        }
+        None => out.push_str("  \"full\": null,\n"),
+    }
+    out.push_str("  \"reduced\": {\n");
+    out.push_str(&format!("    \"base_slices\": {},\n", reduced.base_slices));
+    out.push_str(&format!(
+        "    \"canonical_states\": {},\n",
+        reduced.canonical_states
+    ));
+    out.push_str(&format!(
+        "    \"expanded_states\": {},\n",
+        reduced.expanded_states
+    ));
+    out.push_str(&format!(
+        "    \"predicted_base_states\": {},\n",
+        reduced.predicted_base_states
+    ));
+    out.push_str(&format!(
+        "    \"expanded_l3_partitions\": {},\n",
+        reduced.expanded_l3_partitions
+    ));
+    match reduced.predicted_states_full {
+        Some(p) => out.push_str(&format!("    \"predicted_states_full\": {p},\n")),
+        None => out.push_str("    \"predicted_states_full\": null,\n"),
+    }
+    out.push_str(&format!("    \"transitions\": {},\n", reduced.transitions));
+    out.push_str(&format!(
+        "    \"forced_covers\": {},\n",
+        reduced.forced_covers
+    ));
+    out.push_str(&format!("    \"seam_checks\": {},\n", reduced.seam_checks));
+    out.push_str(&format!(
+        "    \"embedding_checks\": {},\n",
+        reduced.embedding_checks
+    ));
+    out.push_str(&format!(
+        "    \"acceptance_checks\": {},\n",
+        reduced.acceptance_checks
+    ));
+    out.push_str(&format!("    \"holds\": {}\n  }},\n", reduced.holds()));
+    out.push_str(&format!("  \"holds\": {ok},\n"));
+    out.push_str("  \"violations\": [");
+    let violations = reduced
+        .violations
+        .iter()
+        .chain(full.iter().flat_map(|f| f.violations.iter()));
+    for (i, v) in violations.enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&escape(&v.to_string()));
+    }
+    out.push_str("]\n}");
+    out
+}
+
+fn print_lattice(
+    slices: usize,
+    full: Option<&LatticeReport>,
+    reduced: &ReducedReport,
+    cross_ok: bool,
+    ok: bool,
+) {
+    println!("topology lattice over {slices} slices:");
+    if let Some(f) = full {
         println!(
-            "  reachable (L2, L3) states: {} (closed form: {})",
-            report.reachable_states, report.predicted_states
+            "  full enumeration:  {} (L2, L3) states (closed form: {}), \
+             {} L3 partitions (closed form: {})",
+            f.reachable_states, f.predicted_states, f.l3_partitions, f.predicted_l3_partitions
         );
         println!(
-            "  distinct L3 partitions:    {} (closed form: {})",
-            report.l3_partitions, report.predicted_l3_partitions
+            "                     {} transitions ({} forced L3 covers)",
+            f.transitions, f.forced_covers
         );
+    }
+    println!(
+        "  symmetry-reduced:  {} canonical states at base {} expanding to {} \
+         (closed form: {})",
+        reduced.canonical_states,
+        reduced.base_slices,
+        reduced.expanded_states,
+        reduced.predicted_base_states
+    );
+    println!(
+        "                     {} transitions ({} forced L3 covers)",
+        reduced.transitions, reduced.forced_covers
+    );
+    if reduced.slices > reduced.base_slices {
         println!(
-            "  transitions explored:      {} ({} forced L3 covers)",
-            report.transitions, report.forced_covers
+            "                     {} seam, {} embedding, {} acceptance checks up to {} slices",
+            reduced.seam_checks, reduced.embedding_checks, reduced.acceptance_checks, slices
         );
-        if report.holds() {
-            println!(
-                "  all 4 invariants hold: buddy partitions, inclusion capacity,\n  \
-                 spanning-tree arbitration, reversibility to (1:1:{})",
-                report.cores
-            );
-        } else {
-            for v in &report.violations {
-                println!("  VIOLATION: {v}");
-            }
-            if report.reachable_states != report.predicted_states {
-                println!(
-                    "  VIOLATION: state count {} != closed form {}",
-                    report.reachable_states, report.predicted_states
-                );
-            }
+        match reduced.predicted_states_full {
+            Some(p) => println!("                     full state space (closed form): {p}"),
+            None => println!(
+                "                     full state space (closed form): > u128 (not enumerable)"
+            ),
         }
     }
-    Ok(i32::from(!report.holds()))
+    if full.is_some() {
+        println!(
+            "  cross-check:       {}",
+            if cross_ok {
+                "reduced totals match the full enumeration exactly"
+            } else {
+                "MISMATCH between reduced and full enumeration"
+            }
+        );
+    }
+    if ok {
+        println!(
+            "  all 4 invariants hold: buddy partitions, inclusion capacity,\n  \
+             spanning-tree arbitration, reversibility to (1:1:{slices})"
+        );
+    } else {
+        for v in reduced
+            .violations
+            .iter()
+            .chain(full.iter().flat_map(|f| f.violations.iter()))
+        {
+            println!("  VIOLATION: {v}");
+        }
+    }
 }
 
 /// Walks up from the current directory to the enclosing workspace root

@@ -7,7 +7,9 @@
 //! A future change to the merge/split rules that grows, shrinks, or
 //! disconnects the lattice fails this test before any simulation runs.
 
-use morph_analyzer::lattice::{buddy_partition_count, refining_pair_count, Lattice};
+use morph_analyzer::lattice::{
+    buddy_partition_count, refining_pair_count, Lattice, ReducedLattice,
+};
 
 #[test]
 fn sixteen_slice_lattice_is_fully_enumerated_and_sound() {
@@ -34,6 +36,26 @@ fn sixteen_slice_lattice_is_fully_enumerated_and_sound() {
     // genuinely exercised by the enumeration.
     assert!(report.forced_covers > 0);
     assert!(report.transitions > report.reachable_states);
+}
+
+#[test]
+fn symmetry_reduced_check_reproduces_the_full_sixteen_slice_verdicts() {
+    let full = Lattice::new(16).expect("16 is a valid slice count").check();
+    let reduced = ReducedLattice::new(16)
+        .expect("16 is a valid slice count")
+        .check();
+    assert!(reduced.holds(), "{:?}", reduced.violations.first());
+    // The orbit-weighted canonical enumeration must expand to exactly
+    // the full enumeration's pinned totals — same verdicts, same counts.
+    assert_eq!(reduced.expanded_states, full.reachable_states);
+    assert_eq!(reduced.expanded_states, 49_961);
+    assert_eq!(reduced.expanded_l3_partitions, full.l3_partitions);
+    assert_eq!(reduced.expanded_l3_partitions, 677);
+    assert_eq!(reduced.violations.is_empty(), full.violations.is_empty());
+    // Klein four-group reduction: 12,724 orbits cover the 49,961 states
+    // (most orbits are full size 4; boundary-symmetric states shrink
+    // theirs to 1 or 2).
+    assert_eq!(reduced.canonical_states, 12_724);
 }
 
 #[test]

@@ -16,6 +16,9 @@
 //!   QoS throttling of §5.3;
 //! * [`topology`] — buddy-aligned slice topologies, the `(x:y:z)` notation
 //!   of §1.2, and the relaxed grouping modes of §5.5;
+//! * [`symmetry`] — the slice rotation/reflection symmetry group over
+//!   buddy partitions and the canonical forms the symmetry-reduced
+//!   lattice verification enumerates at 64+ slices;
 //! * [`engine`] — the per-epoch decision engine implementing the merge
 //!   rules of §2.2, the split rules of §2.3, the inclusion-safety coupling
 //!   between levels, and the split/merge conflict arbitration of §2.4
@@ -53,6 +56,7 @@ pub mod error;
 pub mod hash;
 pub mod msat;
 pub mod rng;
+pub mod symmetry;
 pub mod topology;
 
 pub use acfv::{Acfv, ExactFootprint};
@@ -62,6 +66,7 @@ pub use error::{MorphError, StallDiagnostic};
 pub use hash::HashKind;
 pub use msat::{Msat, Utilization};
 pub use rng::Xoshiro256pp;
+pub use symmetry::SymmetryGroup;
 pub use topology::SymmetricTopology;
 
 /// Which groupable cache level an event or decision concerns.

@@ -2,8 +2,17 @@
 //!
 //! The paper describes static cache topologies as `(x : y : z)`: each L2
 //! slice group serves `x` cores, each L3 group spans `y` L2 groups, and
-//! there are `z` L3 groups — so `x·y·z` equals the core count. The
-//! all-shared baseline is `(16:1:1)`, fully private is `(1:1:16)`.
+//! there are `z` L3 groups — so `x·y·z` equals the core count `n`. On an
+//! `n`-core CMP the all-shared baseline is `(n:1:1)` and fully private is
+//! `(1:1:n)`; the paper evaluates at `n = 16`, but every helper here is
+//! generic over any power-of-two slice count (16 through 1024 and beyond).
+//!
+//! The [`crate::symmetry`] module builds on these predicates: it exposes
+//! the slice rotation/reflection symmetry group over buddy partitions and
+//! the canonicalization layer the symmetry-reduced lattice model check
+//! uses at large core counts.
+
+use crate::error::MorphError;
 
 /// A symmetric `(x : y : z)` topology for an `n`-core CMP.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,13 +30,22 @@ impl SymmetricTopology {
     ///
     /// # Errors
     ///
-    /// Returns a description if `x·y·z != n` or any component is zero.
-    pub fn new(x: usize, y: usize, z: usize, n: usize) -> Result<Self, String> {
+    /// Returns [`MorphError::Topology`] if `x·y·z != n` or any component
+    /// is zero; the message names the offending triple and the product
+    /// constraint.
+    pub fn new(x: usize, y: usize, z: usize, n: usize) -> Result<Self, MorphError> {
         if x == 0 || y == 0 || z == 0 {
-            return Err("topology components must be nonzero".into());
+            return Err(MorphError::Topology(format!(
+                "({x}:{y}:{z}): components must be nonzero and the (x:y:z) \
+                 product must equal the core count n = {n}"
+            )));
         }
         if x * y * z != n {
-            return Err(format!("(x:y:z) = ({x}:{y}:{z}) does not cover {n} cores"));
+            return Err(MorphError::Topology(format!(
+                "({x}:{y}:{z}): x·y·z = {}, but the (x:y:z) product must \
+                 equal the core count n = {n}",
+                x * y * z
+            )));
         }
         Ok(Self { x, y, z })
     }
@@ -36,16 +54,30 @@ impl SymmetricTopology {
     ///
     /// # Errors
     ///
-    /// Returns a description of the malformed component or coverage error.
-    pub fn parse(s: &str, n: usize) -> Result<Self, String> {
+    /// Returns [`MorphError::Topology`] naming the offending input string
+    /// and the expected `(x:y:z)` product constraint.
+    pub fn parse(s: &str, n: usize) -> Result<Self, MorphError> {
         let trimmed = s.trim().trim_start_matches('(').trim_end_matches(')');
         let parts: Vec<&str> = trimmed.split(':').collect();
         if parts.len() != 3 {
-            return Err(format!("expected x:y:z, got {s:?}"));
+            return Err(MorphError::Topology(format!(
+                "{s:?}: expected three ':'-separated components (x:y:z) \
+                 with x·y·z = n = {n}"
+            )));
         }
-        let nums: Result<Vec<usize>, _> = parts.iter().map(|p| p.trim().parse::<usize>()).collect();
-        let nums = nums.map_err(|e| format!("bad component in {s:?}: {e}"))?;
-        Self::new(nums[0], nums[1], nums[2], n)
+        let mut nums = [0usize; 3];
+        for (slot, part) in nums.iter_mut().zip(&parts) {
+            *slot = part.trim().parse::<usize>().map_err(|_| {
+                MorphError::Topology(format!(
+                    "{s:?}: component {part:?} is not a number; expected \
+                     (x:y:z) with x·y·z = n = {n}"
+                ))
+            })?;
+        }
+        Self::new(nums[0], nums[1], nums[2], n).map_err(|e| match e {
+            MorphError::Topology(msg) => MorphError::Topology(format!("{s:?}: {msg}")),
+            other => other,
+        })
     }
 
     /// The L2 grouping: contiguous groups of `x` slices.
@@ -63,14 +95,47 @@ impl SymmetricTopology {
         format!("({}:{}:{})", self.x, self.y, self.z)
     }
 
+    /// The static comparison set for an `n`-core CMP, baseline `(n:1:1)`
+    /// first: all-shared, fully private, the balanced mid-point
+    /// `(2^⌊k/2⌋ : 2^⌈k/2⌉ : 1)`, the half-shared `(n/2:2:1)`, and
+    /// per-core L2 under one shared L3 `(1:n:1)`. Duplicates that arise
+    /// at small `n` are removed, preserving order. At `n = 16` this is
+    /// bit-identical to the five static topologies the paper evaluates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Topology`] if `n` is not a power of two of
+    /// at least 2 (buddy grouping needs power-of-two slice counts).
+    pub fn static_set(n: usize) -> Result<Vec<SymmetricTopology>, MorphError> {
+        if n < 2 || !n.is_power_of_two() {
+            return Err(MorphError::Topology(format!(
+                "static set needs a power-of-two core count >= 2, got {n}"
+            )));
+        }
+        let k = n.trailing_zeros() as usize;
+        let candidates = [
+            (n, 1, 1),
+            (1, 1, n),
+            (1 << (k / 2), 1 << (k - k / 2), 1),
+            (n / 2, 2, 1),
+            (1, n, 1),
+        ];
+        let mut out: Vec<SymmetricTopology> = Vec::new();
+        for (x, y, z) in candidates {
+            let t = SymmetricTopology::new(x, y, z, n)?;
+            if !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    }
+
     /// The five static topologies the paper evaluates against on 16 cores,
-    /// baseline `(16:1:1)` first.
+    /// baseline `(16:1:1)` first — [`static_set`](Self::static_set) at
+    /// `n = 16`.
     pub fn paper_static_set() -> Vec<SymmetricTopology> {
-        [(16, 1, 1), (1, 1, 16), (4, 4, 1), (8, 2, 1), (1, 16, 1)]
-            .into_iter()
-            // morph-lint: allow(no-panic-in-lib, reason = "compile-time constant list; every tuple multiplies to 16, covered by the paper_static_set_contents test")
-            .map(|(x, y, z)| SymmetricTopology::new(x, y, z, 16).expect("valid static topology"))
-            .collect()
+        // morph-lint: allow(no-panic-in-lib, reason = "static_set(n) cannot fail for the power-of-two n = 16; the generic construction is covered by the static_set_generic test and the 16-entry list is pinned by paper_static_set_contents")
+        Self::static_set(16).expect("16 is a valid static-set core count")
     }
 }
 
@@ -152,6 +217,18 @@ pub fn covering_pow2_span(group: &[usize]) -> usize {
     (max - min + 1).next_power_of_two()
 }
 
+/// The largest covering power-of-two span over all groups of a grouping
+/// (1 for all-singleton groupings). The NUCA latency model charges merged
+/// hits by how far this worst span reaches across the die.
+pub fn max_covering_span(groups: &[Vec<usize>]) -> usize {
+    groups
+        .iter()
+        .filter(|g| !g.is_empty())
+        .map(|g| covering_pow2_span(g))
+        .max()
+        .unwrap_or(1)
+}
+
 /// True if `a` and `b` are *buddy siblings*: equal power-of-two-sized
 /// contiguous ranges that are the two halves of one aligned block twice
 /// their size. Buddy-sibling merges are the only merges the
@@ -207,6 +284,37 @@ mod tests {
     }
 
     #[test]
+    fn parse_errors_name_the_input_and_the_product_constraint() {
+        // Pinned messages: the offending string and the x·y·z = n
+        // constraint must both appear, so CLI users see exactly what was
+        // rejected and why.
+        let err = SymmetricTopology::parse("4:4:2", 16).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid topology: \"4:4:2\": (4:4:2): x·y·z = 32, but the \
+             (x:y:z) product must equal the core count n = 16"
+        );
+        let err = SymmetricTopology::parse("4:4", 16).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid topology: \"4:4\": expected three ':'-separated \
+             components (x:y:z) with x·y·z = n = 16"
+        );
+        let err = SymmetricTopology::parse("a:b:c", 64).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid topology: \"a:b:c\": component \"a\" is not a number; \
+             expected (x:y:z) with x·y·z = n = 64"
+        );
+        let err = SymmetricTopology::new(0, 4, 1, 4).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid topology: (0:4:1): components must be nonzero and the \
+             (x:y:z) product must equal the core count n = 4"
+        );
+    }
+
+    #[test]
     fn groupings_match_paper_semantics() {
         // (4:4:1): L2 groups of 4 slices, one all-shared L3.
         let t = SymmetricTopology::new(4, 4, 1, 16).unwrap();
@@ -220,21 +328,25 @@ mod tests {
     }
 
     #[test]
-    fn baseline_and_private() {
-        let base = SymmetricTopology::new(16, 1, 1, 16).unwrap();
-        assert_eq!(base.l2_groups().len(), 1);
-        assert_eq!(base.l3_groups().len(), 1);
-        let private = SymmetricTopology::new(1, 1, 16, 16).unwrap();
-        assert_eq!(private.l2_groups().len(), 16);
-        assert_eq!(private.l3_groups().len(), 16);
+    fn baseline_and_private_generalize_over_n() {
+        for n in [4usize, 16, 64, 256] {
+            let base = SymmetricTopology::new(n, 1, 1, n).unwrap();
+            assert_eq!(base.l2_groups().len(), 1, "n={n}");
+            assert_eq!(base.l3_groups().len(), 1, "n={n}");
+            let private = SymmetricTopology::new(1, 1, n, n).unwrap();
+            assert_eq!(private.l2_groups().len(), n, "n={n}");
+            assert_eq!(private.l3_groups().len(), n, "n={n}");
+        }
     }
 
     #[test]
     fn per_core_l2_shared_l3() {
-        // (1:16:1): per-core L2 slices, one shared L3.
-        let t = SymmetricTopology::new(1, 16, 1, 16).unwrap();
-        assert_eq!(t.l2_groups().len(), 16);
-        assert_eq!(t.l3_groups().len(), 1);
+        // (1:n:1): per-core L2 slices, one shared L3.
+        for n in [16usize, 64] {
+            let t = SymmetricTopology::new(1, n, 1, n).unwrap();
+            assert_eq!(t.l2_groups().len(), n);
+            assert_eq!(t.l3_groups().len(), 1);
+        }
     }
 
     #[test]
@@ -245,6 +357,37 @@ mod tests {
             names,
             vec!["(16:1:1)", "(1:1:16)", "(4:4:1)", "(8:2:1)", "(1:16:1)"]
         );
+        // The generic construction must reproduce the paper set
+        // bit-identically at n = 16.
+        assert_eq!(set, SymmetricTopology::static_set(16).unwrap());
+    }
+
+    #[test]
+    fn static_set_generic() {
+        let names = |n: usize| -> Vec<String> {
+            SymmetricTopology::static_set(n)
+                .unwrap()
+                .iter()
+                .map(|t| t.notation())
+                .collect()
+        };
+        assert_eq!(
+            names(64),
+            vec!["(64:1:1)", "(1:1:64)", "(8:8:1)", "(32:2:1)", "(1:64:1)"]
+        );
+        assert_eq!(
+            names(8),
+            vec!["(8:1:1)", "(1:1:8)", "(2:4:1)", "(4:2:1)", "(1:8:1)"]
+        );
+        // Small n collapses duplicates but keeps the baseline first.
+        assert_eq!(names(2), vec!["(2:1:1)", "(1:1:2)", "(1:2:1)"]);
+        for n in [4usize, 64, 256, 1024] {
+            for t in SymmetricTopology::static_set(n).unwrap() {
+                assert_eq!(t.x * t.y * t.z, n, "n={n}");
+            }
+        }
+        assert!(SymmetricTopology::static_set(0).is_err());
+        assert!(SymmetricTopology::static_set(12).is_err());
     }
 
     #[test]
@@ -314,5 +457,8 @@ mod tests {
         assert_eq!(covering_pow2_span(&[0, 1, 2]), 4);
         assert_eq!(covering_pow2_span(&[1, 7]), 8);
         assert_eq!(covering_pow2_span(&[5]), 1);
+        assert_eq!(max_covering_span(&[vec![0, 1], vec![2, 3, 4, 5]]), 4);
+        assert_eq!(max_covering_span(&[vec![0], vec![1]]), 1);
+        assert_eq!(max_covering_span(&[]), 1);
     }
 }

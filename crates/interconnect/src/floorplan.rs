@@ -9,6 +9,8 @@
 //! segmented-bus overhead in core cycles (15 unpipelined, 10 with the
 //! footnote-2 overlap optimization).
 
+use crate::InterconnectError;
+
 /// Technology and synthesis constants (Table 1, plus per-cell constants
 /// derived from Table 2).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,8 +54,12 @@ impl Default for SynthesisParams {
     }
 }
 
-/// The Fig. 12 die: 15 mm × 20 mm, two columns of eight
-/// core+L1+L2+L3 tiles (2.5 mm pitch) flanking a 5 mm central column.
+/// A two-column tiled die in the style of Fig. 12: `tiles_per_column`
+/// core+L1+L2+L3 tiles per side at a fixed vertical pitch, flanking a
+/// central uncore column. [`Floorplan::paper`] is the published 16-core
+/// instance (15 mm × 20 mm, two columns of eight at 2.5 mm pitch);
+/// [`Floorplan::for_cores`] extrapolates the same aspect to any
+/// power-of-two core count.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Floorplan {
     /// Die width in mm.
@@ -66,6 +72,8 @@ pub struct Floorplan {
     pub left_col_x_mm: f64,
     /// X coordinate of the right tile column's cache stack.
     pub right_col_x_mm: f64,
+    /// Tiles stacked in each of the two columns (half the core count).
+    pub tiles_per_column: usize,
 }
 
 impl Floorplan {
@@ -77,23 +85,51 @@ impl Floorplan {
             tile_pitch_mm: 2.5,
             left_col_x_mm: 2.5,
             right_col_x_mm: 12.5,
+            tiles_per_column: 8,
         }
     }
 
-    /// Positions of the 8 L2 slices along one side of the chip
-    /// (`side = 0` left, `1` right).
+    /// Scales the Fig. 12 geometry to `n_cores` tiles: two columns of
+    /// `n_cores / 2` at the paper's 2.5 mm pitch, with the die height
+    /// growing to match. At `n_cores = 16` this is field-for-field
+    /// identical to [`Floorplan::paper`]. Larger instances are geometric
+    /// extrapolations — the point of the model is relative wire length,
+    /// not manufacturability of a 1280 mm-tall die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidGeometry`] unless `n_cores`
+    /// is a power of two and at least 2 (one tile per column).
+    pub fn for_cores(n_cores: usize) -> Result<Self, InterconnectError> {
+        if !n_cores.is_power_of_two() || n_cores < 2 {
+            return Err(InterconnectError::InvalidGeometry(format!(
+                "core count {n_cores} must be a power of two >= 2 \
+                 (two columns of n/2 tiles)"
+            )));
+        }
+        let paper = Self::paper();
+        let tiles_per_column = n_cores / 2;
+        Ok(Self {
+            die_h_mm: tiles_per_column as f64 * paper.tile_pitch_mm,
+            tiles_per_column,
+            ..paper
+        })
+    }
+
+    /// Positions of the L2 slices along one side of the chip
+    /// (`side = 0` left, `1` right), one per tile.
     pub fn l2_slice_positions(&self, side: usize) -> Vec<(f64, f64)> {
         let x = if side == 0 {
             self.left_col_x_mm
         } else {
             self.right_col_x_mm
         };
-        (0..8)
+        (0..self.tiles_per_column)
             .map(|i| (x, self.tile_pitch_mm / 2.0 + i as f64 * self.tile_pitch_mm))
             .collect()
     }
 
-    /// Positions of all 16 L3 slices (two columns of eight).
+    /// Positions of all L3 slices (both columns, left then right).
     pub fn l3_slice_positions(&self) -> Vec<(f64, f64)> {
         let mut v = self.l2_slice_positions(0);
         v.extend(self.l2_slice_positions(1));
@@ -281,6 +317,44 @@ mod tests {
         let l3 = ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &p);
         let f = l3.max_frequency_ghz();
         assert!((f - 1.12).abs() / 1.12 < 0.20, "freq {f}");
+    }
+
+    #[test]
+    fn for_cores_16_is_bit_identical_to_the_paper_floorplan() {
+        let scaled = Floorplan::for_cores(16).unwrap();
+        assert_eq!(scaled, Floorplan::paper());
+        assert_eq!(
+            scaled.l3_slice_positions(),
+            Floorplan::paper().l3_slice_positions()
+        );
+    }
+
+    #[test]
+    fn for_cores_scales_the_die_with_the_core_count() {
+        for n in [2usize, 4, 64, 256, 1024] {
+            let fp = Floorplan::for_cores(n).unwrap();
+            assert_eq!(fp.tiles_per_column, n / 2);
+            assert_eq!(fp.l3_slice_positions().len(), n);
+            assert!((fp.die_h_mm - (n / 2) as f64 * 2.5).abs() < 1e-12);
+            assert!((fp.die_w_mm - 15.0).abs() < 1e-12, "width is fixed");
+            // The full n-leaf arbiter hierarchy places on this geometry.
+            let model =
+                ArbiterHierarchyModel::new(&fp.l3_slice_positions(), &SynthesisParams::paper());
+            assert_eq!(model.levels, n.trailing_zeros() as usize);
+            assert_eq!(model.n_arbiters, n - 1);
+            assert!(model.max_frequency_ghz() > 0.0);
+        }
+    }
+
+    #[test]
+    fn for_cores_rejects_degenerate_counts() {
+        for n in [0usize, 1, 3, 12, 100] {
+            let err = Floorplan::for_cores(n).unwrap_err();
+            assert!(
+                err.to_string().contains("power of two"),
+                "error for n={n} should name the constraint: {err}"
+            );
+        }
     }
 
     #[test]

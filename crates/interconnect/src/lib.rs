@@ -7,7 +7,7 @@
 //! that recomputes the area and delay figures of Tables 1–2 from the
 //! published 45 nm technology constants and the Fig. 12 floorplan.
 //!
-//! Three layers are provided:
+//! Four layers are provided:
 //!
 //! * [`arbiter`] — the structural model: [`arbiter::RoundRobinArbiter`]
 //!   (the Fig. 10 two-input round-robin cell) and
@@ -18,7 +18,12 @@
 //!   (queueing) estimate that the system simulator folds into merged-hit
 //!   latencies.
 //! * [`floorplan`] — the analytic model behind Table 2 and the 15-cycle
-//!   merged-access overhead.
+//!   merged-access overhead, generalized past the paper's 16-tile die
+//!   via [`Floorplan::for_cores`].
+//! * [`nuca`] — the distance-aware (NUCA-style) hop-latency model for
+//!   merged groups that span more tiles than the paper's die: zero extra
+//!   cycles at or below the 16-tile threshold, one bus hop per further
+//!   doubling of the covering span.
 //!
 //! # Example
 //!
@@ -39,10 +44,12 @@
 pub mod arbiter;
 pub mod bus;
 pub mod floorplan;
+pub mod nuca;
 
 pub use arbiter::{ArbiterTree, RoundRobinArbiter};
 pub use bus::SegmentedBus;
 pub use floorplan::{ArbiterHierarchyModel, Floorplan, SynthesisParams};
+pub use nuca::NucaModel;
 
 /// Errors from interconnect configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +58,9 @@ pub enum InterconnectError {
     InvalidSegments(String),
     /// A component index was out of range.
     ComponentOutOfRange(usize, usize),
+    /// A floorplan geometry request was unrealizable (e.g. a
+    /// non-power-of-two core count).
+    InvalidGeometry(String),
 }
 
 impl std::fmt::Display for InterconnectError {
@@ -60,6 +70,7 @@ impl std::fmt::Display for InterconnectError {
             InterconnectError::ComponentOutOfRange(c, n) => {
                 write!(f, "component {c} out of range for bus with {n} components")
             }
+            InterconnectError::InvalidGeometry(why) => write!(f, "invalid geometry: {why}"),
         }
     }
 }

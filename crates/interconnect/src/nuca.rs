@@ -1,0 +1,189 @@
+//! Distance-aware (NUCA-style) latency model for merged groups that span
+//! more tiles than the paper's die.
+//!
+//! The paper's merged-access latencies (Table 2, §3.2: +15 unpipelined /
+//! +10 pipelined core cycles) are derived from a 16-tile floorplan whose
+//! worst leaf-to-root wire fits in one bus cycle. Scaled to 64–1024
+//! cores ([`crate::Floorplan::for_cores`]), a merged group covering more
+//! than 16 tiles grows its wire span with every doubling, so each
+//! doubling past the 16-tile threshold costs one extra bus hop — the
+//! classic non-uniform cache access (NUCA) distance term, applied at bus
+//! granularity rather than per-bank.
+//!
+//! The model is deliberately degenerate at the paper's scale: for any
+//! covering span ≤ 16 tiles it adds **zero** cycles, so a 16-core system
+//! is bit-identical with or without it.
+
+use crate::InterconnectError;
+
+/// Hop-latency model: extra core cycles per merged access as a function
+/// of the group's covering span in tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NucaModel {
+    /// Largest covering span (in tiles) reachable within the baseline
+    /// bus transaction — the paper's die, 16 tiles.
+    pub tile_span_threshold: usize,
+    /// Extra core cycles per doubling of the covering span beyond the
+    /// threshold (one bus hop).
+    pub hop_cycles_per_doubling: u64,
+}
+
+impl NucaModel {
+    /// The model matching the paper's published clocks: a 5 GHz core and
+    /// a 1 GHz segmented bus make one extra bus hop cost 5 core cycles,
+    /// and the 16-tile die is the zero-cost threshold.
+    pub fn paper() -> Self {
+        Self::for_frequencies(5.0, 1.0)
+    }
+
+    /// Builds the model from core/bus clocks: one bus cycle per doubling,
+    /// expressed in core cycles (rounded to the nearest integer).
+    pub fn for_frequencies(core_ghz: f64, bus_ghz: f64) -> Self {
+        Self {
+            tile_span_threshold: 16,
+            hop_cycles_per_doubling: (core_ghz / bus_ghz).round() as u64,
+        }
+    }
+
+    /// Extra core cycles for a merged access whose group covers `span`
+    /// tiles: zero at or below the threshold, one hop per doubling above
+    /// it. `extra(32) = 1 hop`, `extra(64) = 2 hops`, ... on the paper
+    /// clocks.
+    pub fn extra_merged_cycles(&self, span: usize) -> u64 {
+        let mut reach = self.tile_span_threshold;
+        let mut extra = 0;
+        while reach < span {
+            reach *= 2;
+            extra += self.hop_cycles_per_doubling;
+        }
+        extra
+    }
+
+    /// The smallest *aligned* power-of-two block of tiles covering every
+    /// member of `group` — the wire span that a merged group's bus
+    /// segment must traverse. Singletons (and the empty group) span 1.
+    pub fn covering_span(group: &[usize]) -> usize {
+        let (Some(&lo), Some(&hi)) = (group.iter().min(), group.iter().max()) else {
+            return 1;
+        };
+        let mut size = 1usize;
+        while lo / size != hi / size {
+            size *= 2;
+        }
+        size
+    }
+
+    /// Per-segment extra transfer cycles for a bus configuration, ready
+    /// to feed [`crate::SegmentedBus::set_segment_extra_cycles`]: entry
+    /// `i` is [`NucaModel::extra_merged_cycles`] of group `i`'s covering
+    /// span. All-zero whenever every group fits the threshold.
+    pub fn segment_extra_cycles(&self, groups: &[Vec<usize>]) -> Vec<u64> {
+        groups
+            .iter()
+            .map(|g| self.extra_merged_cycles(Self::covering_span(g)))
+            .collect()
+    }
+
+    /// Applies [`NucaModel::segment_extra_cycles`] to a configured bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterconnectError::InvalidSegments`] if `groups` does
+    /// not match the bus's current segment count.
+    pub fn apply_to_bus(
+        &self,
+        bus: &mut crate::SegmentedBus,
+        groups: &[Vec<usize>],
+    ) -> Result<(), InterconnectError> {
+        bus.set_segment_extra_cycles(&self.segment_extra_cycles(groups))
+    }
+}
+
+impl Default for NucaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_extra_cycles_at_or_below_the_paper_die() {
+        let m = NucaModel::paper();
+        assert_eq!(m.hop_cycles_per_doubling, 5);
+        for span in 1..=16 {
+            assert_eq!(m.extra_merged_cycles(span), 0, "span {span}");
+        }
+    }
+
+    #[test]
+    fn one_hop_per_doubling_past_sixteen_tiles() {
+        let m = NucaModel::paper();
+        assert_eq!(m.extra_merged_cycles(32), 5);
+        assert_eq!(m.extra_merged_cycles(64), 10);
+        assert_eq!(m.extra_merged_cycles(256), 20);
+        assert_eq!(m.extra_merged_cycles(1024), 30);
+        // Non-power-of-two spans round up to the next doubling.
+        assert_eq!(m.extra_merged_cycles(17), 5);
+        assert_eq!(m.extra_merged_cycles(33), 10);
+    }
+
+    #[test]
+    fn covering_span_is_the_smallest_aligned_block() {
+        assert_eq!(NucaModel::covering_span(&[]), 1);
+        assert_eq!(NucaModel::covering_span(&[5]), 1);
+        assert_eq!(NucaModel::covering_span(&[0, 1]), 2);
+        assert_eq!(NucaModel::covering_span(&[1, 2]), 4, "misaligned pair");
+        assert_eq!(NucaModel::covering_span(&[0, 15]), 16);
+        assert_eq!(
+            NucaModel::covering_span(&[16, 31]),
+            16,
+            "aligned upper block"
+        );
+        assert_eq!(
+            NucaModel::covering_span(&[15, 16]),
+            32,
+            "straddles the die seam"
+        );
+        assert_eq!(NucaModel::covering_span(&[0, 63]), 64);
+    }
+
+    #[test]
+    fn segment_extras_are_all_zero_for_any_16_core_configuration() {
+        let m = NucaModel::paper();
+        let groups: Vec<Vec<usize>> = vec![(0..8).collect(), (8..12).collect(), (12..16).collect()];
+        assert_eq!(m.segment_extra_cycles(&groups), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn segment_extras_charge_only_wide_groups() {
+        let m = NucaModel::paper();
+        let groups: Vec<Vec<usize>> =
+            vec![(0..32).collect(), (32..48).collect(), (48..64).collect()];
+        assert_eq!(m.segment_extra_cycles(&groups), vec![5, 0, 0]);
+        let whole: Vec<Vec<usize>> = vec![(0..64).collect()];
+        assert_eq!(m.segment_extra_cycles(&whole), vec![10]);
+    }
+
+    #[test]
+    fn applies_to_a_configured_bus() {
+        let m = NucaModel::paper();
+        let groups: Vec<Vec<usize>> = vec![(0..32).collect(), (32..64).collect()];
+        let mut bus = crate::SegmentedBus::new(64);
+        bus.configure(&groups).unwrap();
+        m.apply_to_bus(&mut bus, &groups).unwrap();
+        // One transaction now occupies the segment for 3 + 5 cycles.
+        bus.request(0);
+        bus.request(1);
+        assert_eq!(bus.cycle().len(), 1);
+        for _ in 0..7 {
+            assert!(
+                bus.cycle().is_empty(),
+                "segment busy for the hop-extended transfer"
+            );
+        }
+        assert_eq!(bus.cycle().len(), 1);
+    }
+}

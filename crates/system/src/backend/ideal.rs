@@ -1,10 +1,10 @@
 //! The §5.1 ideal offline scheme: every epoch, trial-run each candidate
 //! static topology from a snapshot and keep the best.
 
-use super::apply_groups;
+use super::{apply_groups, apply_nuca_latencies};
 use crate::config::SystemConfig;
 use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend};
-use morph_cache::{CacheEventSink, CoreId, Hierarchy, Line, NoopSink};
+use morph_cache::{CacheEventSink, CoreId, Hierarchy, LatencyParams, Line, NoopSink};
 use morphcache::{MorphError, SymmetricTopology};
 
 /// An LRU hierarchy re-chosen each epoch from static candidates.
@@ -17,6 +17,8 @@ use morphcache::{MorphError, SymmetricTopology};
 pub struct IdealBackend {
     hier: Box<Hierarchy>,
     candidates: Vec<SymmetricTopology>,
+    /// Static-latency baseline the NUCA hop extras are added onto.
+    base_latency: LatencyParams,
     /// The topology committed for the current epoch's measured run.
     chosen: Option<String>,
 }
@@ -52,9 +54,16 @@ impl IdealBackend {
             &candidates[0].l3_groups(),
         )
         .map_err(MorphError::Grouping)?;
+        apply_nuca_latencies(
+            &mut hier,
+            hp.latency,
+            &candidates[0].l2_groups(),
+            &candidates[0].l3_groups(),
+        );
         Ok(Self {
             hier: Box::new(hier),
             candidates,
+            base_latency: hp.latency,
             chosen: None,
         })
     }
@@ -79,6 +88,9 @@ impl MemoryBackend for IdealBackend {
             if apply_groups(&mut h, &t.l2_groups(), &t.l3_groups()).is_err() {
                 continue;
             }
+            // The oracle judges each candidate with the latencies it
+            // would actually pay, NUCA hops included.
+            apply_nuca_latencies(&mut h, self.base_latency, &t.l2_groups(), &t.l3_groups());
             let mut cs = ctx.cores.clone();
             let mut ss = ctx.streams.clone();
             let mut noop = NoopSink;
@@ -94,6 +106,12 @@ impl MemoryBackend for IdealBackend {
         })?;
         apply_groups(&mut self.hier, &chosen.l2_groups(), &chosen.l3_groups())
             .map_err(MorphError::Grouping)?;
+        apply_nuca_latencies(
+            &mut self.hier,
+            self.base_latency,
+            &chosen.l2_groups(),
+            &chosen.l3_groups(),
+        );
         self.hier.reset_stats();
         self.chosen = Some(chosen.notation());
         Ok(())

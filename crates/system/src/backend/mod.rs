@@ -29,8 +29,9 @@ use crate::config::SystemConfig;
 use crate::policy::{MemoryBackend, Policy};
 use crate::workload::Workload;
 use morph_baselines::{DsrSystem, PippSystem};
-use morph_cache::{Grouping, Hierarchy};
-use morphcache::topology::meet;
+use morph_cache::{Grouping, Hierarchy, LatencyParams};
+use morph_interconnect::NucaModel;
+use morphcache::topology::{max_covering_span, meet};
 use morphcache::MorphError;
 
 /// Builds the backend a [`Policy`] describes.
@@ -86,6 +87,23 @@ pub fn apply_groups(
     hier.set_l2_grouping(to_grouping(l2_groups)?)
         .map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// Sets the hierarchy's merged latencies to `base` plus the NUCA hop
+/// distance for the widest group of each level: zero extra at or below
+/// the paper's 16-tile die, one bus hop (5 core cycles at the paper
+/// clocks) per further doubling of the covering span.
+pub(crate) fn apply_nuca_latencies(
+    hier: &mut Hierarchy,
+    base: LatencyParams,
+    l2_groups: &[Vec<usize>],
+    l3_groups: &[Vec<usize>],
+) {
+    let nuca = NucaModel::paper();
+    hier.set_merged_latencies(
+        base.l2_merged + nuca.extra_merged_cycles(max_covering_span(l2_groups)),
+        base.l3_merged + nuca.extra_merged_cycles(max_covering_span(l3_groups)),
+    );
 }
 
 #[cfg(test)]

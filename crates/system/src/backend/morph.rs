@@ -9,6 +9,8 @@ use crate::faults::CorruptingSink;
 use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend};
 use crate::probes::{EngineSink, TeeSink};
 use morph_cache::{CacheEventSink, CoreId, Hierarchy, LatencyParams, Line};
+use morph_interconnect::NucaModel;
+use morphcache::topology::max_covering_span;
 use morphcache::{MorphConfig, MorphEngine, MorphError, ReconfigOutcome};
 
 /// The adaptive MorphCache backend.
@@ -21,6 +23,9 @@ pub struct MorphBackend {
     engine: Box<MorphEngine>,
     /// The pipelined-bus latency baseline the §5.5 span penalty scales.
     base_latency: LatencyParams,
+    /// Distance model for merged groups spanning more tiles than the
+    /// paper's die (adds nothing at 16 cores).
+    nuca: NucaModel,
     /// This epoch's ACFV corruption mask (0 = identity, the clean path).
     corrupt_mask: u64,
     last_outcome: Option<ReconfigOutcome>,
@@ -45,6 +50,7 @@ impl MorphBackend {
             hier: Box::new(Hierarchy::new(hp)),
             engine: Box::new(engine),
             base_latency: hp.latency,
+            nuca: NucaModel::paper(),
             corrupt_mask: 0,
             last_outcome: None,
         })
@@ -96,13 +102,22 @@ impl MemoryBackend for MorphBackend {
         apply_groups(&mut self.hier, &outcome.l2_groups, &outcome.l3_groups)
             .map_err(MorphError::Grouping)?;
         // §5.5 relaxed groupings: distant members pay a span-proportional
-        // bus penalty (on the pipelined bus).
+        // bus penalty (on the pipelined bus). Past the paper's 16-tile
+        // die the NUCA model adds one bus hop per doubling of the widest
+        // group's covering span (zero at 16 cores, so the paper's
+        // latencies are reproduced bit-for-bit there).
         let base = self.base_latency;
         let f2 = Hierarchy::span_factor(&outcome.l2_groups);
         let f3 = Hierarchy::span_factor(&outcome.l3_groups);
+        let hops2 = self
+            .nuca
+            .extra_merged_cycles(max_covering_span(&outcome.l2_groups));
+        let hops3 = self
+            .nuca
+            .extra_merged_cycles(max_covering_span(&outcome.l3_groups));
         self.hier.set_merged_latencies(
-            base.l2_local + ((base.l2_merged - base.l2_local) as f64 * f2) as u64,
-            base.l3_local + ((base.l3_merged - base.l3_local) as f64 * f3) as u64,
+            base.l2_local + ((base.l2_merged - base.l2_local) as f64 * f2) as u64 + hops2,
+            base.l3_local + ((base.l3_merged - base.l3_local) as f64 * f3) as u64 + hops3,
         );
         let report = BoundaryReport {
             reconfig_events: outcome.events.len(),

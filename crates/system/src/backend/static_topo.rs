@@ -1,7 +1,7 @@
 //! The static-topology backend: an LRU hierarchy pinned to one
 //! `(x:y:z)` grouping for the whole run.
 
-use super::apply_groups;
+use super::{apply_groups, apply_nuca_latencies};
 use crate::config::SystemConfig;
 use crate::policy::{BoundaryReport, EpochCtx, MemoryBackend};
 use morph_cache::{CacheEventSink, CoreId, Hierarchy, Line};
@@ -31,7 +31,12 @@ impl StaticBackend {
         let mut hp = cfg.hierarchy;
         hp.latency = hp.latency.paper_static();
         let mut hier = Hierarchy::new(hp);
-        apply_groups(&mut hier, &t.l2_groups(), &t.l3_groups()).map_err(MorphError::Grouping)?;
+        let (l2g, l3g) = (t.l2_groups(), t.l3_groups());
+        apply_groups(&mut hier, &l2g, &l3g).map_err(MorphError::Grouping)?;
+        // Past 16 tiles even a "static latency" topology pays the NUCA
+        // hop distance for groups wider than one die; at 16 cores the
+        // extras are zero and the §4 flat-latency assumption is exact.
+        apply_nuca_latencies(&mut hier, hp.latency, &l2g, &l3g);
         Ok(Self {
             hier: Box::new(hier),
         })

@@ -41,6 +41,20 @@ impl SystemConfig {
         }
     }
 
+    /// The CLI experiment preset behind `--cores {16, 64, 256, 1024}`:
+    /// the paper geometry at `n_cores` with the epoch length scaled
+    /// inversely with the core count, so the per-epoch work (cores ×
+    /// cycles) — and hence a full policy matrix — stays tractable at
+    /// 1024 cores. At 16 cores this is the CLI's historical default
+    /// (1.5 M-cycle epochs) exactly; per-core stream/seed derivation is
+    /// untouched at every scale.
+    pub fn preset(n_cores: usize) -> Self {
+        let scale = (n_cores / 16).max(1) as u64;
+        let mut cfg = Self::paper(n_cores);
+        cfg.epoch_cycles = (1_500_000 / scale).max(4 * cfg.quantum);
+        cfg
+    }
+
     /// A fast small configuration for unit/integration tests: 1/8-scale
     /// caches, short epochs.
     pub fn quick_test(n_cores: usize) -> Self {
@@ -155,6 +169,24 @@ mod tests {
     fn validate_accepts_stock_configs() {
         assert!(SystemConfig::paper(16).validate().is_ok());
         assert!(SystemConfig::quick_test(4).validate().is_ok());
+    }
+
+    #[test]
+    fn presets_scale_epoch_length_with_core_count() {
+        // 16 cores: the CLI's historical 1.5 M-cycle default.
+        let c16 = SystemConfig::preset(16);
+        assert_eq!(c16.epoch_cycles, 1_500_000);
+        for n in [64usize, 256, 1024] {
+            let c = SystemConfig::preset(n);
+            assert_eq!(c.n_cores(), n);
+            assert_eq!(c.epoch_cycles, 1_500_000 * 16 / n as u64);
+            assert!(c.validate().is_ok(), "preset({n}) must validate");
+        }
+        // Per-epoch work (cores × cycles) stays within one quantum of
+        // constant across the scale sweep (integer division rounds down).
+        let w16 = 16 * c16.epoch_cycles;
+        let w1024 = 1024 * SystemConfig::preset(1024).epoch_cycles;
+        assert!(w16 - w1024 < 1024 * 2_000, "w16={w16} w1024={w1024}");
     }
 
     #[test]

@@ -188,14 +188,24 @@ impl Policy {
         })
     }
 
-    /// The ideal offline scheme over the paper's five static topologies.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n_cores != 16` is incompatible with the paper set; use
-    /// [`Policy::IdealOffline`] directly for other core counts.
+    /// The ideal offline scheme over the paper's five static topologies
+    /// (16 cores only; use [`Policy::ideal_set`] for other core counts).
     pub fn ideal_paper_set() -> Self {
         Policy::IdealOffline(SymmetricTopology::paper_static_set())
+    }
+
+    /// The ideal offline scheme over the generic static comparison set
+    /// for `n_cores` cores ([`SymmetricTopology::static_set`]); at 16
+    /// cores this is exactly [`Policy::ideal_paper_set`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError::Topology`] if `n_cores` is not a power of
+    /// two of at least 2.
+    pub fn ideal_set(n_cores: usize) -> Result<Self, MorphError> {
+        Ok(Policy::IdealOffline(SymmetricTopology::static_set(
+            n_cores,
+        )?))
     }
 
     /// Short display name for report rows.

@@ -76,7 +76,7 @@ fn suite(name: &str) -> Option<&'static Suite> {
     SUITES.iter().find(|s| s.name == name)
 }
 
-fn policy_named(name: &str, cfg: &SystemConfig) -> Result<Policy, String> {
+fn policy_named(name: &str, cfg: &SystemConfig) -> Result<Policy, MorphError> {
     Ok(match name {
         "morph" => Policy::morph(cfg),
         "pipp" => Policy::Pipp,
@@ -199,7 +199,7 @@ fn run_suite(
         .policies
         .iter()
         .map(|name| {
-            let policy = policy_named(name, &cfg).map_err(MorphError::Topology)?;
+            let policy = policy_named(name, &cfg)?;
             Ok(MatrixCell::new(workload.clone(), policy, cfg.seed))
         })
         .collect::<Result<_, MorphError>>()?;

@@ -20,10 +20,19 @@ use morph_system::prelude::*;
 
 use morph_trace::{mixes, parsec, spec};
 
-/// The policy set `compare` and `matrix` sweep over.
-const MATRIX_POLICIES: [&str; 8] = [
-    "16:1:1", "1:1:16", "4:4:1", "8:2:1", "1:16:1", "morph", "pipp", "dsr",
-];
+/// The policy set `compare` and `matrix` sweep over at `n` cores: every
+/// static topology of `SymmetricTopology::static_set(n)` plus the
+/// dynamic policies. At 16 cores this is the original 8-entry list
+/// (`16:1:1, 1:1:16, 4:4:1, 8:2:1, 1:16:1, morph, pipp, dsr`).
+fn matrix_policies(n: usize) -> Result<Vec<String>, String> {
+    let mut names: Vec<String> = SymmetricTopology::static_set(n)
+        .map_err(|e| e.to_string())?
+        .iter()
+        .map(|t| format!("{}:{}:{}", t.x, t.y, t.z))
+        .collect();
+    names.extend(["morph", "pipp", "dsr"].map(String::from));
+    Ok(names)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,6 +57,9 @@ fn main() {
             eprintln!();
             eprintln!("  --faults spec: semicolon-separated clauses, e.g.");
             eprintln!("      seed=42;acfv@1;drop=5000@2;pin=0@3;merge@4;split@5");
+            eprintln!("  --cores N: power-of-two core count (16 default; 64/256/1024");
+            eprintln!("      presets scale the default epoch length inversely so the");
+            eprintln!("      full matrix stays tractable; --cycles overrides)");
             eprintln!("  --validate-only: check configuration, policy and fault spec,");
             eprintln!("      then exit without simulating");
             eprintln!("  --sampling: representative-interval sampling — simulate one");
@@ -93,7 +105,7 @@ struct Opts {
     workload: Option<Workload>,
     policy: String,
     epochs: usize,
-    cycles: u64,
+    cycles: Option<u64>,
     seed: u64,
     cores: usize,
     faults: Option<String>,
@@ -113,7 +125,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         workload: None,
         policy: "morph".into(),
         epochs: 6,
-        cycles: 1_500_000,
+        cycles: None,
         seed: 0xC0FFEE,
         cores: 16,
         faults: None,
@@ -147,7 +159,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--policy" => o.policy = val("--policy")?,
             "--epochs" => o.epochs = val("--epochs")?.parse().map_err(|e| format!("{e}"))?,
-            "--cycles" => o.cycles = val("--cycles")?.parse().map_err(|e| format!("{e}"))?,
+            "--cycles" => o.cycles = Some(val("--cycles")?.parse().map_err(|e| format!("{e}"))?),
             "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--cores" => o.cores = val("--cores")?.parse().map_err(|e| format!("{e}"))?,
             "--faults" => o.faults = Some(val("--faults")?),
@@ -195,10 +207,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
 }
 
 fn config(o: &Opts) -> SystemConfig {
-    let mut cfg = SystemConfig::paper(o.cores)
+    // The preset scales the default epoch length inversely with the core
+    // count (1.5 M cycles at 16 cores, the historical CLI default); an
+    // explicit --cycles always wins.
+    let mut cfg = SystemConfig::preset(o.cores)
         .with_seed(o.seed)
         .with_epochs(o.epochs);
-    cfg.epoch_cycles = o.cycles;
+    if let Some(cycles) = o.cycles {
+        cfg.epoch_cycles = cycles;
+    }
     cfg
 }
 
@@ -208,8 +225,10 @@ fn policy(name: &str, cfg: &SystemConfig) -> Result<Policy, String> {
         "morph-qos" => Policy::morph_qos(cfg),
         "pipp" => Policy::Pipp,
         "dsr" => Policy::Dsr,
-        "ideal" => Policy::ideal_paper_set(),
-        topo => Policy::Static(SymmetricTopology::parse(topo, cfg.n_cores())?),
+        "ideal" => Policy::ideal_set(cfg.n_cores()).map_err(|e| e.to_string())?,
+        topo => Policy::Static(
+            SymmetricTopology::parse(topo, cfg.n_cores()).map_err(|e| e.to_string())?,
+        ),
     })
 }
 
@@ -371,7 +390,13 @@ fn cmd_compare(args: &[String]) -> i32 {
     };
     let cfg = config(&o);
     let w = o.workload.expect("validated");
-    let names: Vec<String> = MATRIX_POLICIES.iter().map(|n| n.to_string()).collect();
+    let names = match matrix_policies(cfg.n_cores()) {
+        Ok(names) => names,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
     let cells = match build_cells(&names, &w, &cfg) {
         Ok(cells) => cells,
         Err(e) => {
@@ -431,10 +456,16 @@ fn cmd_matrix(args: &[String]) -> i32 {
     };
     let cfg = config(&o);
     let w = o.workload.as_ref().expect("validated").clone();
-    let names: Vec<String> = o
-        .policies
-        .clone()
-        .unwrap_or_else(|| MATRIX_POLICIES.iter().map(|n| n.to_string()).collect());
+    let names = match o.policies.clone() {
+        Some(names) => names,
+        None => match matrix_policies(cfg.n_cores()) {
+            Ok(names) => names,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 2;
+            }
+        },
+    };
     let cells = match build_cells(&names, &w, &cfg) {
         Ok(cells) => cells,
         Err(e) => {
