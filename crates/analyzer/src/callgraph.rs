@@ -1,0 +1,230 @@
+//! Name-based call graph and the `panic-reachability` pass.
+//!
+//! The graph is deliberately **over-approximate**: a call site with
+//! callee name `f` gets an edge to *every* non-test function named `f`
+//! anywhere in the workspace (no name resolution, no trait dispatch).
+//! Over-approximate edges make "reachable" bigger, so the two
+//! conclusions the pass acts on stay safe:
+//!
+//! * **reachable panic** — an unsuppressed panic site reachable from a
+//!   public root is reported with one concrete call chain. False
+//!   positives are possible (a same-named function elsewhere), false
+//!   negatives only through macros/function pointers, which the line
+//!   rule still catches at the site itself.
+//! * **discharge** — a *suppressed* panic site is flagged for deletion
+//!   only when its function is unreachable from every root *and* its
+//!   name is never referenced anywhere outside its own definition. Both
+//!   conditions are conservative under over-approximation, so a
+//!   discharge finding really does mean dead code.
+//!
+//! Roots are public functions plus every non-test `impl` method (trait
+//! methods are callable through the trait object regardless of their
+//! own visibility).
+
+use crate::lexer::TokenKind;
+use crate::lint::Finding;
+use crate::model::Workspace;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One node of the call graph: `(file index, fn index)` for a non-test
+/// function.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    file: usize,
+    func: usize,
+}
+
+/// Runs the `panic-reachability` pass over the workspace model.
+pub fn panic_reachability(ws: &Workspace) -> Vec<Finding> {
+    let mut nodes: Vec<Node> = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for (gi, g) in f.fns.iter().enumerate() {
+            if !g.is_test {
+                nodes.push(Node { file: fi, func: gi });
+            }
+        }
+    }
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (n, node) in nodes.iter().enumerate() {
+        by_name
+            .entry(ws.files[node.file].fns[node.func].name.as_str())
+            .or_default()
+            .push(n);
+    }
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    for (n, node) in nodes.iter().enumerate() {
+        let mut outs: BTreeSet<usize> = BTreeSet::new();
+        for call in &ws.files[node.file].fns[node.func].calls {
+            if let Some(targets) = by_name.get(call.callee.as_str()) {
+                outs.extend(targets.iter().copied());
+            }
+        }
+        edges[n] = outs.into_iter().collect();
+    }
+
+    // Multi-source BFS from the public roots, keeping one parent per
+    // node so a concrete chain can be reported. Node order is
+    // deterministic (sorted files, source-order fns), so the chain is
+    // stable across runs.
+    let mut reached = vec![false; nodes.len()];
+    let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for (n, node) in nodes.iter().enumerate() {
+        let g = &ws.files[node.file].fns[node.func];
+        if g.is_pub || g.impl_index.is_some() {
+            reached[n] = true;
+            queue.push_back(n);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for &m in &edges[n] {
+            if !reached[m] {
+                reached[m] = true;
+                parent[m] = Some(n);
+                queue.push_back(m);
+            }
+        }
+    }
+
+    // Names referenced anywhere other than as a `fn` definition name —
+    // calls, imports, re-exports, even recursion all count, which keeps
+    // "unreferenced" conservative.
+    let mut referenced: BTreeSet<&str> = BTreeSet::new();
+    for f in &ws.files {
+        let mut prev_is_fn = false;
+        for t in &f.tokens {
+            if matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+                continue;
+            }
+            if t.kind == TokenKind::Ident && !prev_is_fn {
+                referenced.insert(t.text.as_str());
+            }
+            prev_is_fn = t.is_ident("fn");
+        }
+    }
+
+    let mut out = Vec::new();
+    for (n, node) in nodes.iter().enumerate() {
+        let f = &ws.files[node.file];
+        let g = &f.fns[node.func];
+        for site in &g.panics {
+            if !site.suppressed && reached[n] {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: site.line,
+                    rule: "panic-reachability".into(),
+                    message: format!(
+                        "{} is reachable from the public API: {}",
+                        site.what,
+                        chain_string(ws, &nodes, &parent, n)
+                    ),
+                });
+            } else if site.suppressed
+                && !reached[n]
+                && !g.is_pub
+                && !referenced.contains(g.name.as_str())
+            {
+                out.push(Finding {
+                    file: f.path.clone(),
+                    line: g.line,
+                    rule: "panic-reachability".into(),
+                    message: format!(
+                        "`{}` is dead (never referenced, unreachable from any public \
+                         root) yet carries a panic allow at line {}; delete the dead \
+                         function and its allow",
+                        g.name, site.line
+                    ),
+                });
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Formats the BFS chain `root -> ... -> n` as backtick-quoted names.
+fn chain_string(ws: &Workspace, nodes: &[Node], parent: &[Option<usize>], n: usize) -> String {
+    let mut path = vec![n];
+    let mut cur = n;
+    while let Some(p) = parent[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    let names: Vec<String> = path
+        .iter()
+        .map(|&k| format!("`{}`", ws.files[nodes[k].file].fns[nodes[k].func].name))
+        .collect();
+    names.join(" -> ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_file;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace {
+            files: vec![parse_file("x.rs", src)],
+        }
+    }
+
+    #[test]
+    fn reachable_panic_reports_the_chain() {
+        let src = "pub fn api() { mid(); }\nfn mid() { leaf(); }\nfn leaf() { x.unwrap(); }\n";
+        let f = panic_reachability(&ws(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(
+            f[0].message.contains("`api` -> `mid` -> `leaf`"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn unreachable_private_panic_is_not_reported_here() {
+        // The line rule still fires; reachability has nothing to add.
+        let src =
+            "pub fn api() {}\nfn orphan() { x.unwrap(); }\nfn caller_of_orphan() { orphan(); }\n";
+        assert!(panic_reachability(&ws(src)).is_empty());
+    }
+
+    #[test]
+    fn suppressed_site_in_dead_fn_is_discharged() {
+        let src = "pub fn api() {}\n\
+                   fn dead() {\n\
+                       // morph-lint: allow(no-panic-in-lib, reason = \"stale\")\n\
+                       x.unwrap();\n\
+                   }\n";
+        let f = panic_reachability(&ws(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("dead"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn suppressed_site_in_live_fn_is_left_alone() {
+        let src = "pub fn api() { live(); }\n\
+                   fn live() {\n\
+                       // morph-lint: allow(no-panic-in-lib, reason = \"proved\")\n\
+                       x.unwrap();\n\
+                   }\n";
+        assert!(panic_reachability(&ws(src)).is_empty());
+    }
+
+    #[test]
+    fn impl_methods_are_roots() {
+        let src = "struct S;\nimpl S {\n    fn helper(&self) { x.unwrap(); }\n}\n";
+        let f = panic_reachability(&ws(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn test_fns_are_outside_the_graph() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(panic_reachability(&ws(src)).is_empty());
+    }
+}

@@ -80,13 +80,61 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// The subset of JSON values the report uses.
+/// Parses a complete JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed construct.
+pub fn parse(text: &str) -> Result<Value, String> {
+    parse_value(&mut Cursor::new(text))
+}
+
+/// The subset of JSON values the reports use (no booleans or nulls —
+/// neither the findings report nor the SARIF emitter produces them).
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum Value {
+    /// A string literal.
     String(String),
+    /// A number (always carried as `f64`).
     Number(f64),
+    /// An array.
     Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
     Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
 }
 
 struct Cursor<'a> {

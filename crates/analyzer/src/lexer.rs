@@ -134,7 +134,14 @@ impl Lexer<'_> {
         while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
             self.pos += 1;
         }
-        let text = String::from_utf8_lossy(&self.bytes[start.min(self.pos)..self.pos]);
+        // CRLF sources leave a `\r` before the `\n`; keep it out of the
+        // comment text so suppression directives parse identically on
+        // both line-ending conventions.
+        let mut end = self.pos;
+        if end > start && self.bytes[end - 1] == b'\r' {
+            end -= 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start.min(end)..end]);
         self.out
             .push(Token::new(TokenKind::LineComment, text.into_owned(), line));
     }
@@ -216,16 +223,19 @@ impl Lexer<'_> {
         let start = self.pos;
         self.pos = look + 1;
         let closer: Vec<u8> = std::iter::once(b'"').chain(vec![b'#'; hashes]).collect();
+        // Only plain *byte* strings (`b"..."`) honor escapes; a raw string
+        // (`r"..."`) never does — `r"\"` is a complete raw string holding
+        // one backslash. Treating raw bodies as escaped used to swallow
+        // the closing quote and silently absorb following code into the
+        // literal, hiding findings.
+        let escapes = hashes == 0 && self.bytes[start] == b'b';
         while self.pos < self.bytes.len() {
             if self.bytes[self.pos] == b'\n' {
                 self.line += 1;
             }
-            if hashes == 0 && start + 1 == look {
-                // Plain string body (only reachable for b"..."): respect escapes.
-                if self.bytes[self.pos] == b'\\' {
-                    self.pos += 2;
-                    continue;
-                }
+            if escapes && self.bytes[self.pos] == b'\\' {
+                self.pos += 2;
+                continue;
             }
             if self.bytes[self.pos..].starts_with(&closer) {
                 self.pos += closer.len();
@@ -422,5 +432,59 @@ mod tests {
     fn method_call_on_number() {
         let toks = kinds("1.max(2)");
         assert!(toks.contains(&(TokenKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn raw_string_with_trailing_backslash_does_not_swallow_code() {
+        // `r"\"` is a COMPLETE raw string holding one backslash; the code
+        // after it must still tokenize (regression: the old lexer treated
+        // the backslash as an escape and absorbed the rest of the line).
+        let toks = lex(r#"let p = r"\"; x.unwrap();"#);
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+        // Byte strings DO escape: b"\"" is one literal, not two.
+        let toks = lex(r#"let b = b"\""; y.unwrap();"#);
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Literal).count(),
+            1
+        );
+        // Raw byte strings never escape either.
+        let toks = lex(r##"let rb = br#"\"#; z.unwrap();"##);
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")), "{toks:?}");
+    }
+
+    #[test]
+    fn crlf_line_comments_have_no_trailing_cr() {
+        let toks = lex("// directive here\r\nlet x = 1;\r\n");
+        let c = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::LineComment)
+            .expect("comment token");
+        assert_eq!(c.text, " directive here");
+        // Line numbers still advance across CRLF endings.
+        let x = toks.iter().find(|t| t.is_ident("x")).expect("x token");
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn crlf_strings_and_numbers_tokenize() {
+        let toks = lex("let s = \"a\r\nb\";\r\nlet n = 42;\r\n");
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == "42"));
+    }
+
+    #[test]
+    fn tight_nested_block_comments() {
+        // `/*/**/*/` is a fully closed nested comment; code after it must
+        // surface.
+        let toks = lex("/*/**/*/ fn f() {}");
+        assert!(toks.iter().any(|t| t.is_ident("fn")), "{toks:?}");
+        // `/*/` opens a comment that never closes: everything to EOF is
+        // comment, nothing leaks.
+        let toks = lex("/*/ x.unwrap() HashMap");
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("HashMap")));
     }
 }

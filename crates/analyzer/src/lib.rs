@@ -25,10 +25,18 @@
 //!
 //! [`json`] is the minimal writer/parser behind `--json`.
 
+pub mod callgraph;
+pub mod crashpoints;
 pub mod json;
 pub mod lattice;
 pub mod lexer;
 pub mod lint;
+pub mod model;
+pub mod passes;
+pub mod protocol;
+pub mod sarif;
 
 pub use lattice::{Lattice, LatticeReport, ReducedLattice, ReducedReport};
 pub use lint::{lint_source, lint_tree, Finding};
+pub use model::{build_workspace, Workspace};
+pub use passes::{AnalysisReport, PassManager, PASS_NAMES};

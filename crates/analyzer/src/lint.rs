@@ -33,13 +33,28 @@
 
 use crate::lexer::{lex, Token, TokenKind};
 
-/// Names of the five lint rules, in reporting order.
+/// Names of the five line-level lint rules, in reporting order.
 pub const RULE_NAMES: [&str; 5] = [
     "no-default-hasher-iteration",
     "no-wallclock",
     "no-panic-in-lib",
     "no-foreign-rng",
     "no-unapproved-thread-state",
+];
+
+/// Every rule an `allow(...)` directive may name: the five line rules
+/// plus the three interprocedural passes (see [`crate::passes`]). The
+/// pseudo-rules `bad-suppression` and `stale-allow` are deliberately
+/// absent — the suppression machinery itself cannot be suppressed.
+pub const SUPPRESSIBLE_RULES: [&str; 8] = [
+    "no-default-hasher-iteration",
+    "no-wallclock",
+    "no-panic-in-lib",
+    "no-foreign-rng",
+    "no-unapproved-thread-state",
+    "panic-reachability",
+    "epoch-protocol",
+    "journal-crash-point",
 ];
 
 /// One lint finding.
@@ -65,21 +80,31 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// A parsed `morph-lint: allow(rule, reason = "...")` directive.
+/// A parsed `morph-lint: allow(rule[, rule...], reason = "...")`
+/// directive. One directive may allow several rules at once (a line can
+/// legitimately trip two rules); the reason applies to all of them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Suppression {
-    /// The rule being allowed.
-    pub rule: String,
+    /// The rules being allowed (at least one).
+    pub rules: Vec<String>,
     /// The justification (mandatory, non-empty).
     pub reason: String,
     /// Line the directive appears on.
     pub line: u32,
 }
 
+impl Suppression {
+    /// True if this directive covers `rule` findings on `line` (the
+    /// directive's own line or the line directly below it).
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rules.iter().any(|r| r == rule) && (self.line == line || self.line + 1 == line)
+    }
+}
+
 /// Files exempt from a rule, as path suffixes. The exemptions are part of
 /// the rule definitions: they name the single audited module allowed to
 /// use the capability.
-fn exempt_suffixes(rule: &str) -> &'static [&'static str] {
+pub(crate) fn exempt_suffixes(rule: &str) -> &'static [&'static str] {
     match rule {
         // Wall-clock accounting is confined to the timing module of
         // morph-metrics; everything else (including experiment.rs) takes
@@ -121,9 +146,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
         {
             continue;
         }
-        let suppressed = suppressions
-            .iter()
-            .any(|s| s.rule == raw.rule && (s.line == raw.line || s.line + 1 == raw.line));
+        let suppressed = suppressions.iter().any(|s| s.covers(&raw.rule, raw.line));
         if !suppressed {
             findings.push(raw);
         }
@@ -134,7 +157,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
 
 /// Extracts suppression directives from comment tokens; malformed
 /// directives are reported as `bad-suppression` findings.
-fn collect_suppressions(
+pub(crate) fn collect_suppressions(
     path: &str,
     tokens: &[Token],
     suppressions: &mut Vec<Suppression>,
@@ -155,20 +178,30 @@ fn collect_suppressions(
         };
         let directive = t.text[idx + "morph-lint:".len()..].trim();
         match parse_allow(directive) {
-            Some((rule, reason)) if RULE_NAMES.contains(&rule.as_str()) && !reason.is_empty() => {
-                suppressions.push(Suppression {
-                    rule,
-                    reason,
-                    line: t.line,
-                });
-            }
-            Some((rule, _)) if !RULE_NAMES.contains(&rule.as_str()) => {
-                findings.push(Finding {
-                    file: path.to_string(),
-                    line: t.line,
-                    rule: "bad-suppression".into(),
-                    message: format!("allow names unknown rule {rule:?}"),
-                });
+            Some((rules, reason)) if !reason.is_empty() => {
+                let unknown: Vec<&String> = rules
+                    .iter()
+                    .filter(|r| !SUPPRESSIBLE_RULES.contains(&r.as_str()))
+                    .collect();
+                if unknown.is_empty() {
+                    suppressions.push(Suppression {
+                        rules,
+                        reason,
+                        line: t.line,
+                    });
+                } else {
+                    // A typo'd rule name must stay loud: report every
+                    // unknown name and register nothing, so the finding
+                    // the author meant to silence also still fires.
+                    for rule in unknown {
+                        findings.push(Finding {
+                            file: path.to_string(),
+                            line: t.line,
+                            rule: "bad-suppression".into(),
+                            message: format!("allow names unknown rule {rule:?}"),
+                        });
+                    }
+                }
             }
             _ => {
                 findings.push(Finding {
@@ -176,7 +209,7 @@ fn collect_suppressions(
                     line: t.line,
                     rule: "bad-suppression".into(),
                     message: "malformed directive; expected \
-                              `morph-lint: allow(<rule>, reason = \"...\")`"
+                              `morph-lint: allow(<rule>[, <rule>...], reason = \"...\")`"
                         .into(),
                 });
             }
@@ -184,24 +217,44 @@ fn collect_suppressions(
     }
 }
 
-/// Parses `allow(rule, reason = "...")`, returning (rule, reason).
-fn parse_allow(directive: &str) -> Option<(String, String)> {
+/// Parses `allow(rule[, rule...], reason = "...")`, returning the rule
+/// list and the reason. Trailing commas are tolerated both between
+/// segments and after the reason clause; commas inside the quoted
+/// reason never split it.
+fn parse_allow(directive: &str) -> Option<(Vec<String>, String)> {
     let rest = directive.strip_prefix("allow")?.trim_start();
     let rest = rest.strip_prefix('(')?;
     let close = rest.rfind(')')?;
-    let body = &rest[..close];
-    let (rule, reason_part) = body.split_once(',')?;
-    let reason_part = reason_part.trim();
-    let reason_val = reason_part.strip_prefix("reason")?.trim_start();
-    let reason_val = reason_val.strip_prefix('=')?.trim();
-    let reason_val = reason_val.strip_prefix('"')?;
-    let reason = reason_val.strip_suffix('"')?;
-    Some((rule.trim().to_string(), reason.to_string()))
+    let mut body = &rest[..close];
+    let mut rules = Vec::new();
+    let reason = loop {
+        let trimmed = body.trim_start();
+        if let Some(after) = trimmed.strip_prefix("reason") {
+            let val = after.trim_start().strip_prefix('=')?.trim();
+            let val = val.strip_prefix('"')?;
+            let end = val.rfind('"')?;
+            let tail = val[end + 1..].trim();
+            if !tail.is_empty() && tail != "," {
+                return None;
+            }
+            break val[..end].to_string();
+        }
+        let (rule, tail) = trimmed.split_once(',')?;
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            rules.push(rule.to_string());
+        }
+        body = tail;
+    };
+    if rules.is_empty() {
+        return None;
+    }
+    Some((rules, reason))
 }
 
 /// Lines belonging to `#[test]` functions or `#[cfg(test)]` items
 /// (typically `mod tests { ... }`).
-fn test_region_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
+pub(crate) fn test_region_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
     let code: Vec<&Token> = tokens
         .iter()
         .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
@@ -278,7 +331,7 @@ fn test_region_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
 
 /// Runs all five rule matchers over the comment-free, test-free token
 /// stream.
-fn scan_rules(path: &str, code: &[&Token]) -> Vec<Finding> {
+pub(crate) fn scan_rules(path: &str, code: &[&Token]) -> Vec<Finding> {
     let mut out = Vec::new();
     let mut push = |line: u32, rule: &str, message: String| {
         out.push(Finding {
@@ -569,6 +622,64 @@ mod tests {
         )
         .is_empty());
         assert!(lint_source("crates/core/src/rng.rs", "fn f() { let _ = OsRng; }\n").is_empty());
+    }
+
+    #[test]
+    fn multi_rule_allow_covers_both_findings_on_one_line() {
+        // One line trips two rules; one directive names them both.
+        let src = "// morph-lint: allow(no-default-hasher-iteration, no-panic-in-lib, reason = \"fixture\")\nfn f() { let m: HashMap<u8, u8> = x.unwrap(); }\n";
+        assert!(
+            lint_source("x.rs", src).is_empty(),
+            "{:?}",
+            lint_source("x.rs", src)
+        );
+        // Naming only one of the two leaves the other loud.
+        let partial = "// morph-lint: allow(no-panic-in-lib, reason = \"fixture\")\nfn f() { let m: HashMap<u8, u8> = x.unwrap(); }\n";
+        let f = lint_source("x.rs", partial);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "no-default-hasher-iteration");
+    }
+
+    #[test]
+    fn trailing_commas_are_tolerated() {
+        let after_reason =
+            "fn f() { x.unwrap(); } // morph-lint: allow(no-panic-in-lib, reason = \"ok\",)\n";
+        assert!(lint_source("x.rs", after_reason).is_empty());
+        let between =
+            "// morph-lint: allow(no-panic-in-lib,, reason = \"ok\")\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source("x.rs", between).is_empty());
+    }
+
+    #[test]
+    fn reason_with_commas_is_one_reason() {
+        let src = "fn f() { x.unwrap(); } // morph-lint: allow(no-panic-in-lib, reason = \"a, b, and c\")\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multi_rule_with_one_unknown_is_loud_and_registers_nothing() {
+        let src = "// morph-lint: allow(no-panic-in-lib, no-such-rule, reason = \"x\")\nfn f() { x.unwrap(); }\n";
+        let f = lint_source("x.rs", src);
+        // The typo is reported AND the would-be-suppressed finding fires.
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f.iter().any(|f| f.rule == "bad-suppression"));
+        assert!(f.iter().any(|f| f.rule == "no-panic-in-lib"));
+    }
+
+    #[test]
+    fn pass_rules_are_suppressible_names() {
+        // Directives naming the interprocedural passes parse cleanly (no
+        // bad-suppression) even though no line rule consumes them here.
+        let src = "// morph-lint: allow(panic-reachability, reason = \"x\")\nfn f() {}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn text_after_reason_is_malformed() {
+        let src = "// morph-lint: allow(no-panic-in-lib, reason = \"ok\" extra)\nfn f() {}\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "bad-suppression");
     }
 
     #[test]

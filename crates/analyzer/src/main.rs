@@ -1,20 +1,31 @@
 //! `morph-lint`: the MorphCache static-analysis CLI.
 //!
 //! ```text
-//! morph-lint lint [--json] [--root PATH]   # determinism/robustness lints
-//! morph-lint lattice [--json] [--cores N]  # topology lattice model check
+//! morph-lint lint [--passes a,b] [--timings] [--format text|json|sarif] [--root PATH]
+//! morph-lint passes                          # list the registered passes
+//! morph-lint crashpoints [--cells N] [--json]
+//! morph-lint lattice [--json] [--cores N]    # topology lattice model check
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings/violations, 2 usage or I/O error.
+//!
+//! The binary owns the wall clock: the analyzer library is itself linted
+//! (`no-wallclock`), so per-pass timing is injected from here.
 
+use morph_analyzer::crashpoints::{model_check, PASS_MODEL_CELLS};
 use morph_analyzer::json::{escape, findings_to_json};
 use morph_analyzer::lattice::{Lattice, LatticeReport, ReducedLattice, ReducedReport};
-use morph_analyzer::lint::lint_tree;
+use morph_analyzer::model::build_workspace;
+use morph_analyzer::passes::{pass_description, PassManager, PASS_NAMES};
+use morph_analyzer::sarif::findings_to_sarif;
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("passes") => run_passes(),
+        Some("crashpoints") => run_crashpoints(&args[1..]),
         Some("lattice") => run_lattice(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
@@ -35,13 +46,29 @@ const USAGE: &str = "\
 morph-lint: dependency-free static analysis for the MorphCache workspace
 
 USAGE:
-    morph-lint lint [--json] [--root PATH]
-        Lint all library crates for determinism/robustness violations:
-        no-default-hasher-iteration, no-wallclock, no-panic-in-lib,
-        no-foreign-rng, no-unapproved-thread-state. Suppress a finding
-        with `// morph-lint: allow(<rule>, reason = \"...\")` on the
-        same or previous line. PATH defaults to the enclosing workspace
-        root.
+    morph-lint lint [--passes a,b,...] [--timings] [--format FMT] [--root PATH]
+        Run the analysis passes over all library crates. The five line
+        rules (no-default-hasher-iteration, no-wallclock, no-panic-in-lib,
+        no-foreign-rng, no-unapproved-thread-state) are joined by three
+        interprocedural passes: panic-reachability (call-graph chains
+        from the public API to panic sites), epoch-protocol (MemoryBackend
+        hook order), and journal-crash-point (commit-sequence model check).
+        --passes selects a comma-separated subset (standard order is
+        kept); --timings prints per-pass wall-clock to stderr; --format
+        is text (default), json, or sarif (--json is an alias for
+        --format json). Suppress a finding with
+        `// morph-lint: allow(<rule>[, <rule>...], reason = \"...\")` on
+        the same or previous line; unused directives are reported as
+        stale-allow. PATH defaults to the enclosing workspace root.
+
+    morph-lint passes
+        List the registered passes in execution order.
+
+    morph-lint crashpoints [--cells N] [--json]
+        Exhaustively enumerate crash points of the morph-journal commit
+        sequence for an N-cell run (default 4): every ordered
+        interruption point (including torn tmp writes) and every
+        persistence subset, asserting resume is clean or a typed error.
 
     morph-lint lattice [--json] [--slices N] (alias: --cores N)
         Verify the reachable (L2, L3) topology lattice from the
@@ -58,12 +85,30 @@ Exit status: 0 clean, 1 findings or violations, 2 usage/I/O error.
 ";
 
 fn run_lint(args: &[String]) -> Result<i32, String> {
-    let mut json = false;
+    let mut format = "text".to_string();
+    let mut timings = false;
+    let mut passes: Option<Vec<String>> = None;
     let mut root: Option<std::path::PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = "json".into(),
+            "--format" => {
+                let v = it.next().ok_or("--format requires text, json, or sarif")?;
+                if !matches!(v.as_str(), "text" | "json" | "sarif") {
+                    return Err(format!(
+                        "unknown format {v:?}; expected text, json, or sarif"
+                    ));
+                }
+                format = v.clone();
+            }
+            "--timings" => timings = true,
+            "--passes" => {
+                let v = it
+                    .next()
+                    .ok_or("--passes requires a comma-separated list")?;
+                passes = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
             "--root" => {
                 let path = it.next().ok_or("--root requires a path")?;
                 root = Some(path.into());
@@ -75,18 +120,116 @@ fn run_lint(args: &[String]) -> Result<i32, String> {
         Some(r) => r,
         None => workspace_root()?,
     };
-    let findings = lint_tree(&root)?;
-    if json {
-        println!("{}", findings_to_json(&findings));
-    } else if findings.is_empty() {
-        println!("morph-lint: clean ({})", root.display());
-    } else {
-        for f in &findings {
-            println!("{f}");
+    let pm = match &passes {
+        Some(names) => {
+            let names: Vec<&str> = names.iter().map(String::as_str).collect();
+            PassManager::with_passes(&names)?
         }
-        println!("morph-lint: {} finding(s)", findings.len());
+        None => PassManager::with_all_passes(),
+    };
+    let ws = build_workspace(&root)?;
+    let start = Instant::now();
+    let mut clock = move || start.elapsed().as_secs_f64();
+    let report = pm.run(&ws, Some(&mut clock));
+    match format.as_str() {
+        "json" => println!("{}", findings_to_json(&report.findings)),
+        "sarif" => println!("{}", findings_to_sarif(&report.findings)),
+        _ => {
+            if report.findings.is_empty() {
+                println!(
+                    "morph-lint: clean ({}) — {} passes over {} files, {} justified allows",
+                    root.display(),
+                    pm.pass_names().len(),
+                    report.files,
+                    report.allows
+                );
+            } else {
+                for f in &report.findings {
+                    println!("{f}");
+                }
+                println!("morph-lint: {} finding(s)", report.findings.len());
+            }
+        }
     }
-    Ok(i32::from(!findings.is_empty()))
+    if timings {
+        // Timings go to stderr so json/sarif stdout stays parseable.
+        for t in &report.timings {
+            eprintln!("timing: {:<28} {:8.3} ms", t.name, t.seconds * 1e3);
+        }
+        let total: f64 = report.timings.iter().map(|t| t.seconds).sum();
+        eprintln!("timing: {:<28} {:8.3} ms", "total", total * 1e3);
+    }
+    Ok(i32::from(!report.findings.is_empty()))
+}
+
+fn run_passes() -> Result<i32, String> {
+    for name in PASS_NAMES {
+        println!("{name:<28} {}", pass_description(name));
+    }
+    Ok(0)
+}
+
+fn run_crashpoints(args: &[String]) -> Result<i32, String> {
+    let mut json = false;
+    let mut cells = PASS_MODEL_CELLS;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--cells" => {
+                let v = it.next().ok_or("--cells requires a number")?;
+                cells = v
+                    .parse()
+                    .map_err(|e| format!("bad --cells value {v:?}: {e}"))?;
+            }
+            other => return Err(format!("unknown crashpoints option {other:?}")),
+        }
+    }
+    let r = model_check(cells)?;
+    let ok = r.violations.is_empty();
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"cells\": {},\n", r.cells));
+        out.push_str(&format!("  \"ops\": {},\n", r.ops));
+        out.push_str(&format!("  \"ordered_points\": {},\n", r.ordered_points));
+        out.push_str(&format!(
+            "  \"persistence_states\": {},\n",
+            r.persistence_states
+        ));
+        out.push_str(&format!("  \"clean_resumes\": {},\n", r.clean_resumes));
+        out.push_str(&format!(
+            "  \"typed_error_resumes\": {},\n",
+            r.typed_error_resumes
+        ));
+        out.push_str(&format!("  \"holds\": {ok},\n"));
+        out.push_str("  \"violations\": [");
+        for (i, v) in r.violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&escape(v));
+        }
+        out.push_str("]\n}");
+        println!("{out}");
+    } else {
+        println!("morph-journal commit sequence, {} cells:", r.cells);
+        println!(
+            "  {} fs operations, {} ordered crash points (incl. torn tmp writes)",
+            r.ops, r.ordered_points
+        );
+        println!(
+            "  {} persistence-subset states: {} clean resumes, {} typed errors",
+            r.persistence_states, r.clean_resumes, r.typed_error_resumes
+        );
+        if ok {
+            println!("  resume invariant holds at every interruption point");
+        } else {
+            for v in &r.violations {
+                println!("  VIOLATION: {v}");
+            }
+        }
+    }
+    Ok(i32::from(!ok))
 }
 
 fn run_lattice(args: &[String]) -> Result<i32, String> {

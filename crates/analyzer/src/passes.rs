@@ -1,0 +1,395 @@
+//! The pass manager: registration, ordering, per-pass timing, and the
+//! shared suppression pipeline.
+//!
+//! Shape follows calyx-opt's pass manager: passes are named units
+//! registered in a fixed order, a run executes an enabled subset over
+//! one immutable [`Workspace`] model, and the manager owns everything
+//! cross-cutting — per-rule file exemptions, inline `allow` matching
+//! with usage tracking, `bad-suppression` surfacing, and `stale-allow`
+//! detection for directives that no longer suppress anything.
+//!
+//! Timing is measured through an *injected* clock (`main.rs` passes
+//! `Instant`-based seconds): library code is itself linted, and the
+//! `no-wallclock` rule bans `std::time` here.
+
+use crate::callgraph::panic_reachability;
+use crate::crashpoints::journal_crash_point;
+use crate::lexer::{Token, TokenKind};
+use crate::lint::{exempt_suffixes, scan_rules, Finding};
+use crate::model::Workspace;
+use crate::protocol::epoch_protocol;
+use std::collections::BTreeSet;
+
+/// All eight pass names, in execution order: the five line rules, then
+/// the three interprocedural passes.
+pub const PASS_NAMES: [&str; 8] = [
+    "no-default-hasher-iteration",
+    "no-wallclock",
+    "no-panic-in-lib",
+    "no-foreign-rng",
+    "no-unapproved-thread-state",
+    "panic-reachability",
+    "epoch-protocol",
+    "journal-crash-point",
+];
+
+/// One-line description of a pass (also used as SARIF rule metadata).
+pub fn pass_description(name: &str) -> &'static str {
+    match name {
+        "no-default-hasher-iteration" => {
+            "HashMap/HashSet iterate in randomized order; simulator state must \
+             be deterministic"
+        }
+        "no-wallclock" => "wall-clock reads outside morph-metrics::timing break replayability",
+        "no-panic-in-lib" => "library crates report failures through MorphError, never panics",
+        "no-foreign-rng" => "all randomness flows through the vendored morphcache::rng",
+        "no-unapproved-thread-state" => {
+            "shared mutable thread state is confined to the audited work queue"
+        }
+        "panic-reachability" => {
+            "call-graph reachability from the public API to panic sites, with \
+             the call chain; flags dischargeable allows on dead code"
+        }
+        "epoch-protocol" => {
+            "MemoryBackend impls define all required methods and callers invoke \
+             the epoch hooks in legal order"
+        }
+        "journal-crash-point" => {
+            "exhaustive crash-point enumeration of the morph-journal commit \
+             sequence plus source conformance of the atomic-write discipline"
+        }
+        "bad-suppression" => "malformed or unknown morph-lint allow directive",
+        "stale-allow" => "allow directive that no longer suppresses any finding",
+        _ => "unknown pass",
+    }
+}
+
+/// Per-pass wall-clock timing (seconds from the injected clock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassTiming {
+    /// Pass name.
+    pub name: String,
+    /// Elapsed seconds; zero when no clock was injected.
+    pub seconds: f64,
+}
+
+/// The result of a manager run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Final findings: pass findings that survived exemption and
+    /// suppression, plus `bad-suppression` and `stale-allow`.
+    pub findings: Vec<Finding>,
+    /// Per-pass timings, in execution order.
+    pub timings: Vec<PassTiming>,
+    /// Files analyzed.
+    pub files: usize,
+    /// Well-formed allow directives seen across the workspace.
+    pub allows: usize,
+}
+
+/// A named analysis pass over the workspace model.
+trait Pass {
+    fn name(&self) -> &'static str;
+    fn run(&self, ws: &Workspace) -> Vec<Finding>;
+}
+
+/// One of the five token-level line rules, run through the shared
+/// scanner and filtered to this pass's rule.
+struct LineRulePass {
+    rule: &'static str,
+}
+
+impl Pass for LineRulePass {
+    fn name(&self) -> &'static str {
+        self.rule
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for f in &ws.files {
+            let code: Vec<&Token> = f
+                .tokens
+                .iter()
+                .filter(|t| {
+                    !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+                        && !f.test_lines.contains(&t.line)
+                })
+                .collect();
+            out.extend(
+                scan_rules(&f.path, &code)
+                    .into_iter()
+                    .filter(|x| x.rule == self.rule),
+            );
+        }
+        out
+    }
+}
+
+struct FnPass {
+    name: &'static str,
+    run: fn(&Workspace) -> Vec<Finding>,
+}
+
+impl Pass for FnPass {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Finding> {
+        (self.run)(ws)
+    }
+}
+
+fn make_pass(name: &'static str) -> Box<dyn Pass> {
+    match name {
+        "panic-reachability" => Box::new(FnPass {
+            name,
+            run: panic_reachability,
+        }),
+        "epoch-protocol" => Box::new(FnPass {
+            name,
+            run: epoch_protocol,
+        }),
+        "journal-crash-point" => Box::new(FnPass {
+            name,
+            run: journal_crash_point,
+        }),
+        _ => Box::new(LineRulePass { rule: name }),
+    }
+}
+
+/// Registers and runs passes over a parsed [`Workspace`].
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl PassManager {
+    /// A manager with all eight passes registered, in standard order.
+    pub fn with_all_passes() -> Self {
+        Self {
+            passes: PASS_NAMES.iter().map(|n| make_pass(n)).collect(),
+        }
+    }
+
+    /// A manager with only the named passes, in standard order
+    /// (registration order is fixed; the subset selects, not reorders).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unknown pass name.
+    pub fn with_passes(names: &[&str]) -> Result<Self, String> {
+        for n in names {
+            if !PASS_NAMES.contains(n) {
+                return Err(format!(
+                    "unknown pass {n:?}; available: {}",
+                    PASS_NAMES.join(", ")
+                ));
+            }
+        }
+        Ok(Self {
+            passes: PASS_NAMES
+                .iter()
+                .filter(|n| names.contains(n))
+                .map(|n| make_pass(n))
+                .collect(),
+        })
+    }
+
+    /// Names of the registered passes, in execution order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs the registered passes and the suppression pipeline.
+    ///
+    /// `clock` supplies monotonic seconds for per-pass timing (the
+    /// binary injects an `Instant`-based closure; library callers that
+    /// don't care pass `None` and get zero timings).
+    pub fn run(
+        &self,
+        ws: &Workspace,
+        mut clock: Option<&mut dyn FnMut() -> f64>,
+    ) -> AnalysisReport {
+        let mut timings = Vec::new();
+        let mut raw: Vec<Finding> = Vec::new();
+        for pass in &self.passes {
+            let t0 = clock.as_mut().map_or(0.0, |c| c());
+            raw.extend(pass.run(ws));
+            let t1 = clock.as_mut().map_or(0.0, |c| c());
+            timings.push(PassTiming {
+                name: pass.name().to_string(),
+                seconds: t1 - t0,
+            });
+        }
+
+        // Per-rule file exemptions, then suppression matching with
+        // usage tracking so stale directives can be detected.
+        let enabled: BTreeSet<&str> = self.passes.iter().map(|p| p.name()).collect();
+        let mut used: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+        let mut findings: Vec<Finding> = Vec::new();
+        for f in raw {
+            let normalized = f.file.replace('\\', "/");
+            if exempt_suffixes(&f.rule)
+                .iter()
+                .any(|s| normalized.ends_with(s))
+            {
+                continue;
+            }
+            let file_index = ws.files.iter().position(|sf| sf.path == f.file);
+            let mut suppressed = false;
+            if let Some(fi) = file_index {
+                for (si, s) in ws.files[fi].suppressions.iter().enumerate() {
+                    if s.covers(&f.rule, f.line) {
+                        used.insert((fi, si, f.rule.clone()));
+                        suppressed = true;
+                    }
+                }
+            }
+            if !suppressed {
+                findings.push(f);
+            }
+        }
+
+        let mut allows = 0usize;
+        for (fi, sf) in ws.files.iter().enumerate() {
+            findings.extend(sf.bad_suppressions.iter().cloned());
+            allows += sf.suppressions.len();
+            for (si, s) in sf.suppressions.iter().enumerate() {
+                for rule in &s.rules {
+                    // Only judge a directive against passes that ran:
+                    // an allow for a disabled pass is not stale, just
+                    // unexercised.
+                    if enabled.contains(rule.as_str()) && !used.contains(&(fi, si, rule.clone())) {
+                        findings.push(Finding {
+                            file: sf.path.clone(),
+                            line: s.line,
+                            rule: "stale-allow".into(),
+                            message: format!(
+                                "allow({rule}) never suppresses a finding on this or \
+                                 the next line; delete it (reason given: {:?})",
+                                s.reason
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        findings.sort();
+        findings.dedup();
+        AnalysisReport {
+            findings,
+            timings,
+            files: ws.files.len(),
+            allows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::parse_file;
+
+    fn ws(path: &str, src: &str) -> Workspace {
+        Workspace {
+            files: vec![parse_file(path, src)],
+        }
+    }
+
+    #[test]
+    fn all_passes_match_declared_names() {
+        let pm = PassManager::with_all_passes();
+        assert_eq!(pm.pass_names(), PASS_NAMES);
+    }
+
+    #[test]
+    fn unknown_pass_name_is_an_error() {
+        assert!(PassManager::with_passes(&["no-such-pass"]).is_err());
+    }
+
+    #[test]
+    fn subset_keeps_standard_order() {
+        let pm = PassManager::with_passes(&["epoch-protocol", "no-wallclock"]).unwrap();
+        assert_eq!(pm.pass_names(), ["no-wallclock", "epoch-protocol"]);
+    }
+
+    #[test]
+    fn line_rules_fire_through_the_manager() {
+        let pm = PassManager::with_all_passes();
+        let r = pm.run(&ws("x.rs", "use std::collections::HashMap;\n"), None);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "no-default-hasher-iteration");
+    }
+
+    #[test]
+    fn suppressed_findings_are_dropped_and_counted() {
+        let src = "// morph-lint: allow(no-panic-in-lib, reason = \"proved\")\npub fn f() { x.unwrap(); }\n";
+        let pm = PassManager::with_all_passes();
+        let r = pm.run(&ws("x.rs", src), None);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.allows, 1);
+    }
+
+    #[test]
+    fn stale_allow_fires_for_unused_directive() {
+        let src = "// morph-lint: allow(no-wallclock, reason = \"obsolete\")\nfn f() {}\n";
+        let pm = PassManager::with_all_passes();
+        let r = pm.run(&ws("x.rs", src), None);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "stale-allow");
+        assert_eq!(r.findings[0].line, 1);
+    }
+
+    #[test]
+    fn stale_allow_respects_disabled_passes() {
+        let src = "// morph-lint: allow(no-wallclock, reason = \"obsolete\")\nfn f() {}\n";
+        let pm = PassManager::with_passes(&["no-panic-in-lib"]).unwrap();
+        let r = pm.run(&ws("x.rs", src), None);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn exempt_file_findings_do_not_mark_directives_used() {
+        // timing.rs is exempt from no-wallclock, so an allow there is
+        // dead weight and must be reported stale.
+        let src =
+            "// morph-lint: allow(no-wallclock, reason = \"redundant\")\nuse std::time::Instant;\n";
+        let pm = PassManager::with_all_passes();
+        let r = pm.run(&ws("crates/metrics/src/timing.rs", src), None);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn bad_suppressions_always_surface() {
+        let src = "// morph-lint: allow(nope)\nfn f() {}\n";
+        let pm = PassManager::with_passes(&["no-wallclock"]).unwrap();
+        let r = pm.run(&ws("x.rs", src), None);
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].rule, "bad-suppression");
+    }
+
+    #[test]
+    fn injected_clock_produces_timings() {
+        let mut t = 0.0;
+        let mut clock = move || {
+            t += 0.5;
+            t
+        };
+        let pm = PassManager::with_all_passes();
+        let r = pm.run(&ws("x.rs", "fn f() {}\n"), Some(&mut clock));
+        assert_eq!(r.timings.len(), 8);
+        assert!(r.timings.iter().all(|t| (t.seconds - 0.5).abs() < 1e-9));
+    }
+
+    #[test]
+    fn interprocedural_passes_fire_through_the_manager() {
+        let src = "pub fn api() { helper(); }\nfn helper() { x.unwrap(); }\n";
+        let pm = PassManager::with_all_passes();
+        let r = pm.run(&ws("x.rs", src), None);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"no-panic-in-lib"), "{rules:?}");
+        assert!(rules.contains(&"panic-reachability"), "{rules:?}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Firing fixture for `epoch-protocol`: the impl is missing three of
+//! the five required methods, and the driver calls `epoch_boundary`
+//! before `begin_epoch`.
+
+pub struct Partial;
+
+impl MemoryBackend for Partial {
+    fn access(&mut self) {}
+    fn begin_epoch(&mut self) {}
+}
+
+pub fn drive(backend: &mut Partial) {
+    backend.epoch_boundary();
+    backend.begin_epoch();
+}

@@ -1,0 +1,22 @@
+//! Clean fixture for `epoch-protocol`: a complete `MemoryBackend` impl
+//! and a driver that calls the hooks in the documented order.
+
+pub struct Full;
+
+impl MemoryBackend for Full {
+    fn access(&mut self) {}
+    fn begin_epoch(&mut self) {}
+    fn epoch_boundary(&mut self) {}
+    fn misses_by_core(&self) {}
+    fn grouping_labels(&self) {}
+}
+
+pub fn drive(backend: &mut Full) {
+    backend.begin_epoch();
+    let misses = backend.misses_by_core();
+    backend.epoch_boundary();
+    let labels = backend.grouping_labels();
+    consume(misses, labels);
+}
+
+fn consume(_misses: usize, _labels: usize) {}

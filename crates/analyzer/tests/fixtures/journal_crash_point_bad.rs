@@ -1,0 +1,16 @@
+//! Firing fixture for `journal-crash-point`: a direct `fs::write`
+//! outside `write_atomic` bypasses the tmp-write-then-rename discipline
+//! the crash-point model assumes.
+
+const SCHEMA: &str = "morph-journal/v1";
+
+pub fn record(dir: &std::path::Path) {
+    std::fs::write(dir.join("manifest.json"), SCHEMA).ok();
+    let _cell = "cell_0.json";
+}
+
+pub fn write_atomic(dir: &std::path::Path, name: &str) {
+    let tmp = dir.join(format!("{name}.tmp"));
+    std::fs::write(&tmp, b"x").ok();
+    std::fs::rename(&tmp, dir.join(name)).ok();
+}

@@ -1,0 +1,21 @@
+//! Clean fixture for `journal-crash-point`: schema marker present, all
+//! durable writes flow through `write_atomic` (write before rename,
+//! staged via `.tmp`), and the manifest is named before any cell file.
+
+const SCHEMA: &str = "morph-journal/v1";
+
+pub fn open(dir: &std::path::Path) -> Result<(), String> {
+    let manifest = dir.join("manifest.json");
+    let cell = dir.join("cell_0.json");
+    validate(manifest, cell)
+}
+
+pub fn write_atomic(dir: &std::path::Path, name: &str) -> Result<(), String> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    std::fs::write(&tmp, SCHEMA).map_err(|e| e.to_string())?;
+    std::fs::rename(&tmp, dir.join(name)).map_err(|e| e.to_string())
+}
+
+fn validate(_manifest: std::path::PathBuf, _cell: std::path::PathBuf) -> Result<(), String> {
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Firing fixture for `panic-reachability`: the unwrap in `leaf` is
+//! reachable from the public `api` through `mid`, and `forgotten`
+//! carries a panic allow while being dead code (discharge finding).
+
+pub fn api(x: Option<u8>) -> u8 {
+    mid(x)
+}
+
+fn mid(x: Option<u8>) -> u8 {
+    leaf(x)
+}
+
+fn leaf(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+fn forgotten(x: Option<u8>) -> u8 {
+    // morph-lint: allow(no-panic-in-lib, reason = "stale proof kept for the discharge check")
+    x.unwrap()
+}

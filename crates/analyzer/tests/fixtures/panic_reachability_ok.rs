@@ -1,0 +1,8 @@
+//! Clean fixture for `panic-reachability`: the only panic site carries
+//! a justified allow and sits in a public function, so nothing is
+//! reachable unsuppressed and nothing is dischargeable as dead.
+
+pub fn checked_first(v: &[u8]) -> u8 {
+    // morph-lint: allow(no-panic-in-lib, reason = "every caller validates v non-empty first")
+    *v.first().expect("validated non-empty")
+}

@@ -1,0 +1,8 @@
+//! One multi-rule directive covers two findings on the next line: a
+//! `no-default-hasher-iteration` hit and a `no-panic-in-lib` hit.
+
+pub fn tally(n: usize) -> usize {
+    // morph-lint: allow(no-default-hasher-iteration, no-panic-in-lib, reason = "fixture: one directive covers both findings on the next line")
+    let m: std::collections::HashMap<u8, u8> = build(n).unwrap();
+    m.len()
+}

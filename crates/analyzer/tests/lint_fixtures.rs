@@ -102,10 +102,16 @@ fn binary_json_output_and_exit_codes() {
     assert_eq!(out.status.code(), Some(1), "dirty tree must exit 1");
     let parsed = findings_from_json(&String::from_utf8_lossy(&out.stdout))
         .expect("binary --json output must parse");
-    assert_eq!(parsed.len(), 1);
-    assert_eq!(parsed[0].rule, "no-panic-in-lib");
-    assert_eq!(parsed[0].file, "src/lib.rs");
-    assert_eq!(parsed[0].line, 1);
+    // All eight passes run by default: the unwrap in a pub fn trips the
+    // line rule AND the call-graph reachability pass.
+    assert_eq!(parsed.len(), 2, "{parsed:?}");
+    let rules: Vec<&str> = parsed.iter().map(|f| f.rule.as_str()).collect();
+    assert!(rules.contains(&"no-panic-in-lib"), "{parsed:?}");
+    assert!(rules.contains(&"panic-reachability"), "{parsed:?}");
+    for f in &parsed {
+        assert_eq!(f.file, "src/lib.rs");
+        assert_eq!(f.line, 1);
+    }
 
     std::fs::write(src.join("lib.rs"), "pub fn f() -> u8 { 7 }\n").expect("write clean fixture");
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_morph-lint"))

@@ -1,0 +1,230 @@
+//! Fixture-based tests for the three interprocedural passes
+//! (`panic-reachability`, `epoch-protocol`, `journal-crash-point`): each
+//! has one firing fixture and one clean fixture under `tests/fixtures/`,
+//! lexed and modeled but never compiled. Also covers the multi-rule
+//! suppression fixture, SARIF emission/validation, and the `morph-lint`
+//! binary's pass-selection and SARIF surfaces.
+
+use morph_analyzer::model::parse_file;
+use morph_analyzer::sarif::{findings_to_sarif, validate_sarif};
+use morph_analyzer::{PassManager, Workspace, PASS_NAMES};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn fixture_ws(name: &str) -> Workspace {
+    Workspace {
+        files: vec![parse_file(name, &fixture(name))],
+    }
+}
+
+fn run_pass(pass: &str, fixture_name: &str) -> Vec<morph_analyzer::Finding> {
+    PassManager::with_passes(&[pass])
+        .expect("known pass")
+        .run(&fixture_ws(fixture_name), None)
+        .findings
+}
+
+/// `panic-reachability` fires on the reachable chain AND discharges the
+/// dead function's stale allow.
+#[test]
+fn panic_reachability_fires_on_bad_fixture() {
+    let findings = run_pass("panic-reachability", "panic_reachability_bad.rs");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.rule == "panic-reachability"));
+    let reach = findings
+        .iter()
+        .find(|f| f.message.contains("reachable from the public API"))
+        .expect("reachability finding");
+    assert!(
+        reach.message.contains("`api` -> `mid` -> `leaf`"),
+        "call chain missing: {}",
+        reach.message
+    );
+    let discharge = findings
+        .iter()
+        .find(|f| f.message.contains("delete the dead function and its allow"))
+        .expect("discharge finding");
+    assert!(discharge.message.contains("`forgotten`"));
+}
+
+#[test]
+fn panic_reachability_is_quiet_on_clean_fixture() {
+    // Clean under ALL passes, not just its own: the allow is exercised
+    // (no stale-allow) and well-formed (no bad-suppression).
+    let report = PassManager::with_all_passes().run(&fixture_ws("panic_reachability_ok.rs"), None);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.allows, 1);
+}
+
+/// `epoch-protocol` fires once per missing required method plus once
+/// for the out-of-order hook pair.
+#[test]
+fn epoch_protocol_fires_on_bad_fixture() {
+    let findings = run_pass("epoch-protocol", "epoch_protocol_bad.rs");
+    assert!(findings.iter().all(|f| f.rule == "epoch-protocol"));
+    let missing: Vec<&str> = findings
+        .iter()
+        .filter(|f| f.message.contains("does not define required method"))
+        .map(|f| f.message.as_str())
+        .collect();
+    assert_eq!(missing.len(), 3, "{findings:?}");
+    for m in ["epoch_boundary", "misses_by_core", "grouping_labels"] {
+        assert!(
+            missing.iter().any(|s| s.contains(m)),
+            "missing-method finding for {m} not found: {findings:?}"
+        );
+    }
+    assert!(
+        findings.iter().any(|f| f
+            .message
+            .contains("requires `begin_epoch` before `epoch_boundary`")),
+        "ordering finding not found: {findings:?}"
+    );
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn epoch_protocol_is_quiet_on_clean_fixture() {
+    let report = PassManager::with_all_passes().run(&fixture_ws("epoch_protocol_ok.rs"), None);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+/// `journal-crash-point` fires on a direct `fs::write` outside
+/// `write_atomic` in a file carrying the journal schema literal.
+#[test]
+fn journal_crash_point_fires_on_bad_fixture() {
+    let findings = run_pass("journal-crash-point", "journal_crash_point_bad.rs");
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "journal-crash-point");
+    assert!(findings[0].message.contains("outside `write_atomic`"));
+    assert!(findings[0].message.contains("`record`"));
+}
+
+#[test]
+fn journal_crash_point_is_quiet_on_clean_fixture() {
+    let report = PassManager::with_all_passes().run(&fixture_ws("journal_crash_point_ok.rs"), None);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+/// One directive naming two rules suppresses both findings on the next
+/// line — and counts as a single allow.
+#[test]
+fn multi_rule_directive_covers_two_findings() {
+    let report = PassManager::with_all_passes().run(&fixture_ws("suppression_multi_ok.rs"), None);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.allows, 1);
+}
+
+/// Findings from the firing fixtures produce SARIF that passes the
+/// 2.1.0 shape validator.
+#[test]
+fn firing_fixture_findings_emit_valid_sarif() {
+    let mut findings = Vec::new();
+    for (pass, file) in [
+        ("panic-reachability", "panic_reachability_bad.rs"),
+        ("epoch-protocol", "epoch_protocol_bad.rs"),
+        ("journal-crash-point", "journal_crash_point_bad.rs"),
+    ] {
+        findings.extend(run_pass(pass, file));
+    }
+    assert!(!findings.is_empty());
+    let sarif = findings_to_sarif(&findings);
+    validate_sarif(&sarif).expect("SARIF 2.1.0 shape");
+    for rule in [
+        "panic-reachability",
+        "epoch-protocol",
+        "journal-crash-point",
+    ] {
+        assert!(sarif.contains(rule), "SARIF missing rule {rule}");
+    }
+}
+
+/// An empty finding set still produces a valid SARIF log (CI uploads it
+/// unconditionally).
+#[test]
+fn empty_findings_emit_valid_sarif() {
+    validate_sarif(&findings_to_sarif(&[])).expect("empty SARIF 2.1.0 shape");
+}
+
+fn run_binary(args: &[&str], dir: &std::path::Path) -> std::process::Output {
+    std::process::Command::new(env!("CARGO_BIN_EXE_morph-lint"))
+        .args(args)
+        .arg(dir)
+        .output()
+        .expect("run morph-lint")
+}
+
+/// The binary: `--format sarif` emits validating SARIF on both dirty
+/// (exit 1) and clean (exit 0) trees, and `--passes` selects a subset.
+#[test]
+fn binary_sarif_output_and_pass_selection() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("pass-bin-fixture");
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn api(x: Option<u8>) -> u8 { inner(x) }\nfn inner(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    )
+    .expect("write dirty fixture");
+
+    let out = run_binary(&["lint", "--format", "sarif", "--root"], &dir);
+    assert_eq!(out.status.code(), Some(1), "dirty tree must exit 1");
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    validate_sarif(&sarif).expect("binary SARIF output must validate");
+    assert!(sarif.contains("no-panic-in-lib"));
+    assert!(sarif.contains("panic-reachability"));
+
+    // Selecting only the line rule hides the interprocedural finding.
+    let out = run_binary(
+        &[
+            "lint",
+            "--passes",
+            "no-panic-in-lib",
+            "--format",
+            "sarif",
+            "--root",
+        ],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    validate_sarif(&sarif).expect("subset SARIF output must validate");
+    assert!(!sarif.contains("panic-reachability"));
+
+    std::fs::write(src.join("lib.rs"), "pub fn api() -> u8 { 7 }\n").expect("write clean fixture");
+    let out = run_binary(&["lint", "--format", "sarif", "--root"], &dir);
+    assert_eq!(out.status.code(), Some(0), "clean tree must exit 0");
+    validate_sarif(&String::from_utf8_lossy(&out.stdout)).expect("clean SARIF must validate");
+}
+
+/// The `passes` subcommand lists all eight registered passes.
+#[test]
+fn binary_lists_all_passes() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_morph-lint"))
+        .arg("passes")
+        .output()
+        .expect("run morph-lint passes");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for name in PASS_NAMES {
+        assert!(text.contains(name), "pass listing missing {name}");
+    }
+}
+
+/// The `crashpoints` subcommand pins the 4-cell enumeration counts.
+#[test]
+fn binary_crashpoints_pins_counts() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_morph-lint"))
+        .args(["crashpoints", "--cells", "4"])
+        .output()
+        .expect("run morph-lint crashpoints");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("16"), "ordered points missing: {text}");
+    assert!(text.contains("2047"), "persistence states missing: {text}");
+}

@@ -62,18 +62,28 @@ pub struct HierarchyParams {
     pub replacement: ReplacementKind,
 }
 
+/// Geometry for one preset cache level. Both presets ([`paper`] and
+/// [`scaled_down`]) use power-of-two capacity/ways/block constants that
+/// always validate; funnelling them through one helper keeps the panic
+/// justification in a single place.
+///
+/// [`paper`]: HierarchyParams::paper
+/// [`scaled_down`]: HierarchyParams::scaled_down
+fn preset_geometry(capacity: usize, ways: usize, block: usize) -> CacheParams {
+    CacheParams::from_capacity(capacity, ways, block)
+        // morph-lint: allow(no-panic-in-lib, reason = "preset power-of-two capacity/ways/block constants always yield a valid geometry; pinned by the paper_geometry and scaled_down tests")
+        .expect("preset constants yield a valid geometry")
+}
+
 impl HierarchyParams {
     /// The paper's Table 3 configuration: 32 KB 4-way L1, 256 KB 8-way L2
     /// slices, 1 MB 16-way L3 slices, 64 B lines.
     pub fn paper(n_cores: usize) -> Self {
         Self {
             n_cores,
-            // morph-lint: allow(no-panic-in-lib, reason = "Table 3 constants: power-of-two capacity/ways/block always yield a valid geometry, pinned by the paper_geometry test")
-            l1: CacheParams::from_capacity(32 * 1024, 4, 64).expect("valid L1 geometry"),
-            // morph-lint: allow(no-panic-in-lib, reason = "Table 3 constants, see above")
-            l2_slice: CacheParams::from_capacity(256 * 1024, 8, 64).expect("valid L2 geometry"),
-            // morph-lint: allow(no-panic-in-lib, reason = "Table 3 constants, see above")
-            l3_slice: CacheParams::from_capacity(1024 * 1024, 16, 64).expect("valid L3 geometry"),
+            l1: preset_geometry(32 * 1024, 4, 64),
+            l2_slice: preset_geometry(256 * 1024, 8, 64),
+            l3_slice: preset_geometry(1024 * 1024, 16, 64),
             latency: LatencyParams::paper(),
             replacement: ReplacementKind::Lru,
         }
@@ -84,12 +94,9 @@ impl HierarchyParams {
     pub fn scaled_down(n_cores: usize) -> Self {
         Self {
             n_cores,
-            // morph-lint: allow(no-panic-in-lib, reason = "1/8-scale constants with the same power-of-two shape as paper(); cannot fail geometry validation")
-            l1: CacheParams::from_capacity(4 * 1024, 4, 64).expect("valid L1 geometry"),
-            // morph-lint: allow(no-panic-in-lib, reason = "scaled constants, see above")
-            l2_slice: CacheParams::from_capacity(32 * 1024, 8, 64).expect("valid L2 geometry"),
-            // morph-lint: allow(no-panic-in-lib, reason = "scaled constants, see above")
-            l3_slice: CacheParams::from_capacity(128 * 1024, 16, 64).expect("valid L3 geometry"),
+            l1: preset_geometry(4 * 1024, 4, 64),
+            l2_slice: preset_geometry(32 * 1024, 8, 64),
+            l3_slice: preset_geometry(128 * 1024, 16, 64),
             latency: LatencyParams::paper(),
             replacement: ReplacementKind::Lru,
         }

@@ -134,8 +134,13 @@ impl SymmetryGroup {
     pub fn canonical_pair(&self, l2: &[u16], l3: &[u16]) -> ((BlockSizes, BlockSizes), usize) {
         let orbit = self.orbit(l2, l3);
         let size = orbit.len();
-        // morph-lint: allow(no-panic-in-lib, reason = "an orbit always contains at least the identity image")
-        let rep = orbit.into_iter().next().expect("orbit is never empty");
+        // An orbit always contains at least the identity image, so the
+        // fallback (the input itself) is only nominally reachable and
+        // equals that image when it is.
+        let rep = orbit
+            .into_iter()
+            .next()
+            .unwrap_or_else(|| (l2.to_vec(), l3.to_vec()));
         (rep, size)
     }
 
@@ -149,8 +154,8 @@ impl SymmetryGroup {
         images.sort_unstable();
         images.dedup();
         let size = images.len();
-        // morph-lint: allow(no-panic-in-lib, reason = "an orbit always contains at least the identity image")
-        let rep = images.into_iter().next().expect("orbit is never empty");
+        // Same identity-image fallback as canonical_pair above.
+        let rep = images.into_iter().next().unwrap_or_else(|| sizes.to_vec());
         (rep, size)
     }
 

@@ -210,10 +210,13 @@ pub fn meet(a: &[Vec<usize>], b: &[Vec<usize>]) -> Vec<Vec<usize>> {
 /// (the §5.5 "physical groups that are supersets of the required logical
 /// groups"). Used to derive the latency penalty of relaxed groupings.
 pub fn covering_pow2_span(group: &[usize]) -> usize {
-    // morph-lint: allow(no-panic-in-lib, reason = "documented precondition; all call sites pass groups produced by is_partition-validated groupings, which are non-empty")
-    let min = *group.iter().min().expect("non-empty group");
-    // morph-lint: allow(no-panic-in-lib, reason = "same non-empty precondition as above")
-    let max = *group.iter().max().expect("non-empty group");
+    // An empty group covers no slices; span 1 matches the all-singleton
+    // convention of max_covering_span. Real call sites pass groups from
+    // is_partition-validated groupings, which are non-empty.
+    let (min, max) = match (group.iter().min(), group.iter().max()) {
+        (Some(&lo), Some(&hi)) => (lo, hi),
+        _ => return 1,
+    };
     (max - min + 1).next_power_of_two()
 }
 

@@ -178,22 +178,20 @@ impl SegmentedBus {
                 continue;
             }
             let start = self.rr[seg] % members.len();
-            let winner = (0..members.len())
-                .map(|i| members[(start + i) % members.len()])
-                .find(|&c| self.pending[c].is_some());
-            if let Some(c) = winner {
-                let issued = self.pending[c]
-                    .take()
-                    // morph-lint: allow(no-panic-in-lib, reason = "winner was selected by find() over components with pending.is_some()")
-                    .expect("winner had a pending request");
+            let mut winner = None;
+            for i in 0..members.len() {
+                // Members are distinct, so this index is also the
+                // round-robin position of the winner within the list.
+                let pos = (start + i) % members.len();
+                if let Some(issued) = self.pending[members[pos]].take() {
+                    winner = Some((pos, members[pos], issued));
+                    break;
+                }
+            }
+            if let Some((pos, c, issued)) = winner {
                 self.stats.transactions += 1;
                 self.stats.wait_cycles += self.now - issued;
                 self.busy_until[seg] = self.now + TRANSACTION_CYCLES + self.segment_extra[seg];
-                let pos = members
-                    .iter()
-                    .position(|&m| m == c)
-                    // morph-lint: allow(no-panic-in-lib, reason = "winner was drawn from this members list two lines up")
-                    .expect("winner is a member");
                 self.rr[seg] = pos + 1;
                 granted.push(c);
             }
